@@ -1,0 +1,76 @@
+//! The §5 interface ablation as benchmarks: the *simulator cost* of
+//! expressing the same parallel read through each interface. (The modeled
+//! message counts and latencies are printed by `repro --exp strided`.)
+
+use charisma_bench::ablation::strided_ablation;
+use charisma_cfs::{Access, Cfs, CfsConfig, IoMode, StridedSpec};
+use charisma_ipsc::{Machine, MachineConfig, SimTime};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn staged() -> (Machine, Cfs, u32) {
+    let machine = Machine::boot_synchronized(MachineConfig::nas_ipsc860());
+    let mut cfs = Cfs::new(CfsConfig::nas());
+    let t0 = SimTime::from_secs(1);
+    let o = cfs
+        .open(1, "in", Access::Write, IoMode::Independent, 0, false)
+        .expect("open");
+    for _ in 0..4 {
+        cfs.write(&machine, o.session, 0, 1 << 20, t0).expect("stage");
+    }
+    cfs.close(o.session, 0).expect("close");
+    (machine, cfs, 4 << 20)
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_strided");
+    g.sample_size(10);
+
+    // Full three-way comparison (messages/latency are the science; this
+    // measures the harness's own cost).
+    g.bench_function("three_interface_comparison", |b| {
+        b.iter(|| black_box(strided_ablation(16, 512, 64)))
+    });
+
+    // Single-node strided vs loop on a shared staged file.
+    let spec = StridedSpec {
+        start: 0,
+        record_bytes: 512,
+        stride: 4096,
+        count: 512,
+    };
+    g.bench_function("strided_request_path", |b| {
+        let (machine, mut cfs, _) = staged();
+        let mut job = 100;
+        b.iter(|| {
+            job += 1;
+            let o = cfs
+                .open(job, "in", Access::Read, IoMode::Independent, 0, false)
+                .expect("open");
+            let out = cfs
+                .read_strided(&machine, o.session, 0, spec, SimTime::from_secs(2))
+                .expect("strided");
+            cfs.close(o.session, 0).expect("close");
+            black_box(out)
+        })
+    });
+    g.bench_function("small_request_loop_path", |b| {
+        let (machine, mut cfs, _) = staged();
+        let mut job = 100;
+        b.iter(|| {
+            job += 1;
+            let o = cfs
+                .open(job, "in", Access::Read, IoMode::Independent, 0, false)
+                .expect("open");
+            let out = cfs
+                .strided_as_loop(&machine, o.session, 0, spec, SimTime::from_secs(2), false)
+                .expect("loop");
+            cfs.close(o.session, 0).expect("close");
+            black_box(out)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Benches for the trace-driven cache simulations (Figures 8-9 and the
+//! §4.8 combined experiment).
+
+use charisma_cachesim::{combined_simulation, compute_cache_sim, io_cache_sim, Policy};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_cachesim(c: &mut Criterion) {
+    let p = charisma_bench::run_pipeline(0.02, 4994);
+    let events = &p.events;
+    let index = &p.index;
+
+    let mut g = c.benchmark_group("cachesim");
+    g.sample_size(10);
+
+    g.bench_function("fig8_compute_cache_1buf", |b| {
+        b.iter(|| black_box(compute_cache_sim(black_box(events), index, 1)))
+    });
+    g.bench_function("fig8_compute_cache_50buf", |b| {
+        b.iter(|| black_box(compute_cache_sim(black_box(events), index, 50)))
+    });
+    g.bench_function("fig9_io_cache_lru_10x50", |b| {
+        b.iter(|| black_box(io_cache_sim(black_box(events), index, 10, 500, Policy::Lru)))
+    });
+    g.bench_function("fig9_io_cache_fifo_10x50", |b| {
+        b.iter(|| black_box(io_cache_sim(black_box(events), index, 10, 500, Policy::Fifo)))
+    });
+    g.bench_function("fig9_io_cache_ipl_10x50", |b| {
+        b.iter(|| black_box(io_cache_sim(black_box(events), index, 10, 500, Policy::Ipl)))
+    });
+    g.bench_function("combined_experiment", |b| {
+        b.iter(|| black_box(combined_simulation(black_box(events), index, 1, 10, 50)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cachesim);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! One bench per characterization table/figure: how fast each §4 analysis
+//! runs over a generated trace. (The `repro` binary prints the actual
+//! figures; these measure the machinery that regenerates them.)
+
+use charisma_core::sequential::Metric;
+use charisma_core::{census, intervals, jobs, modes, requests, sequential, sharing};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    // One pipeline for all benches: generation dominates, do it once.
+    let p = charisma_bench::run_pipeline(0.02, 4994);
+    let events = &p.events;
+    let chars = &p.report.chars;
+
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+
+    g.bench_function("fig1_concurrency_profile", |b| {
+        b.iter(|| black_box(jobs::concurrency_profile(black_box(chars))))
+    });
+    g.bench_function("fig2_node_usage", |b| {
+        b.iter(|| black_box(jobs::node_usage(black_box(chars))))
+    });
+    g.bench_function("table1_files_per_job", |b| {
+        b.iter(|| black_box(jobs::files_per_job(black_box(chars))))
+    });
+    g.bench_function("fig3_size_cdf", |b| {
+        b.iter(|| black_box(census::size_cdf(black_box(chars))))
+    });
+    g.bench_function("census", |b| {
+        b.iter(|| black_box(census::census(black_box(chars))))
+    });
+    g.bench_function("fig4_request_sizes", |b| {
+        b.iter(|| black_box(requests::request_sizes(black_box(events))))
+    });
+    g.bench_function("fig5_sequential_cdfs", |b| {
+        b.iter(|| black_box(sequential::cdfs(black_box(chars), Metric::Sequential)))
+    });
+    g.bench_function("fig6_consecutive_cdfs", |b| {
+        b.iter(|| black_box(sequential::cdfs(black_box(chars), Metric::Consecutive)))
+    });
+    g.bench_function("table2_intervals", |b| {
+        b.iter(|| black_box(intervals::interval_table(black_box(chars))))
+    });
+    g.bench_function("table3_request_sizes", |b| {
+        b.iter(|| black_box(intervals::request_size_table(black_box(chars))))
+    });
+    g.bench_function("modes_usage", |b| {
+        b.iter(|| black_box(modes::mode_usage(black_box(chars))))
+    });
+    g.bench_function("fig7_sharing_cdfs", |b| {
+        b.iter(|| black_box(sharing::sharing_cdfs(black_box(chars))))
+    });
+    g.bench_function("full_analyze_pass", |b| {
+        b.iter(|| black_box(charisma_core::analyze(black_box(events))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Benches for the generation/collection/postprocessing pipeline: how
+//! fast can the simulator produce and rectify a trace.
+
+use charisma_trace::file::{read_trace, write_trace};
+use charisma_trace::postprocess;
+use charisma_workload::{generate, GeneratorConfig};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let w = generate(GeneratorConfig::test_scale(0.02));
+    let events = w.trace.event_count() as u64;
+
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(events));
+
+    g.bench_function("generate_workload_0.01", |b| {
+        b.iter(|| black_box(generate(GeneratorConfig::test_scale(0.01))))
+    });
+    g.bench_function("postprocess", |b| {
+        b.iter(|| black_box(postprocess(black_box(&w.trace))))
+    });
+    g.bench_function("trace_encode", |b| {
+        b.iter(|| {
+            let mut bytes = Vec::new();
+            write_trace(black_box(&w.trace), &mut bytes).expect("write");
+            black_box(bytes)
+        })
+    });
+    let mut encoded = Vec::new();
+    write_trace(&w.trace, &mut encoded).expect("write");
+    g.bench_function("trace_decode", |b| {
+        b.iter(|| black_box(read_trace(black_box(encoded.as_slice())).expect("read")))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

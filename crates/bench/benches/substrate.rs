@@ -1,0 +1,139 @@
+//! Microbenches for the substrates: cache policies, hypercube routing,
+//! the subcube allocator, and the CFS request path.
+
+use charisma_cfs::{
+    Access, BlockCache, Cfs, CfsConfig, FifoCache, IoMode, IplCache, LruCache,
+};
+use charisma_ipsc::{Hypercube, Machine, MachineConfig, SimTime, SubcubeAllocator};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_caches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache_policies");
+    g.sample_size(20);
+    // A mixed trace: hot set + scan, 64k accesses.
+    let accesses: Vec<(u32, u64)> = (0..65_536u64)
+        .map(|i| if i % 3 == 0 { (1, i % 16) } else { (2, i) })
+        .collect();
+    g.throughput(Throughput::Elements(accesses.len() as u64));
+    g.bench_function("lru_access", |b| {
+        b.iter(|| {
+            let mut cache = LruCache::new(4096);
+            let mut hits = 0u64;
+            for &(f, blk) in &accesses {
+                if cache.access((f, blk), 512) {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    g.bench_function("fifo_access", |b| {
+        b.iter(|| {
+            let mut cache = FifoCache::new(4096);
+            let mut hits = 0u64;
+            for &(f, blk) in &accesses {
+                if cache.access((f, blk), 512) {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    g.bench_function("ipl_access", |b| {
+        b.iter(|| {
+            let mut cache = IplCache::new(4096, 4096);
+            let mut hits = 0u64;
+            for &(f, blk) in &accesses {
+                if cache.access((f, blk), 512) {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    g.finish();
+}
+
+fn bench_machine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("machine");
+    g.sample_size(20);
+    let h = Hypercube::new(7);
+    g.bench_function("ecube_route_128", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for src in 0..128 {
+                total += black_box(h.ecube_route(src, 127 - src)).len();
+            }
+            black_box(total)
+        })
+    });
+    g.bench_function("subcube_alloc_release_cycle", |b| {
+        b.iter(|| {
+            let mut alloc = SubcubeAllocator::new(7);
+            let mut cubes = Vec::new();
+            for dim in [0u32, 3, 5, 2, 4, 1, 0, 3] {
+                if let Some(cube) = alloc.allocate(dim) {
+                    cubes.push(cube);
+                }
+            }
+            for cube in cubes {
+                alloc.release(cube);
+            }
+            black_box(alloc.free_nodes())
+        })
+    });
+    g.finish();
+}
+
+fn bench_cfs_request_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cfs_request_path");
+    g.sample_size(20);
+    let machine = Machine::boot_synchronized(MachineConfig::nas_ipsc860());
+    g.bench_function("write_1k_requests", |b| {
+        b.iter(|| {
+            let mut cfs = Cfs::new(CfsConfig::nas());
+            let o = cfs
+                .open(1, "bench", Access::Write, IoMode::Independent, 0, false)
+                .expect("open");
+            let mut t = SimTime::from_secs(1);
+            for _ in 0..1000 {
+                let out = cfs.write(&machine, o.session, 0, 1024, t).expect("write");
+                t = out.completion;
+            }
+            black_box(cfs.stats())
+        })
+    });
+    g.bench_function("interleaved_read_1k_requests", |b| {
+        // Pre-stage once per iteration batch is too costly; stage inside.
+        b.iter(|| {
+            let mut cfs = Cfs::new(CfsConfig::nas());
+            let o = cfs
+                .open(1, "bench", Access::Write, IoMode::Independent, 0, false)
+                .expect("open");
+            cfs.write(&machine, o.session, 0, 1 << 20, SimTime::from_secs(1))
+                .expect("stage");
+            cfs.close(o.session, 0).expect("close");
+            let mut session = 0;
+            for n in 0..8 {
+                session = cfs
+                    .open(2, "bench", Access::Read, IoMode::Independent, n, false)
+                    .expect("open")
+                    .session;
+            }
+            let t = SimTime::from_secs(2);
+            for k in 0..125u64 {
+                for n in 0..8u16 {
+                    let offset = (k * 8 + u64::from(n)) * 512;
+                    cfs.seek(session, n, offset).expect("seek");
+                    cfs.read(&machine, session, n, 512, t).expect("read");
+                }
+            }
+            black_box(cfs.stats())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_caches, bench_machine, bench_cfs_request_path);
+criterion_main!(benches);

@@ -1,0 +1,147 @@
+//! Session indexing for the cache simulations.
+//!
+//! The compute-node simulation needs to know, per session, whether the
+//! file ended up read-only (the paper restricted compute-node caching to
+//! read-only files) and which job issued it (hit rates are reported per
+//! job). That classification is only known once the whole trace has been
+//! seen, so the simulators make one indexing pass first — the same
+//! two-pass structure a trace-driven simulator of the real data would use.
+
+use std::collections::HashMap;
+
+use charisma_trace::record::EventBody;
+use charisma_trace::OrderedEvent;
+
+/// Facts about one session needed by the cache simulators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SessionFacts {
+    /// Owning job.
+    pub job: u32,
+    /// Path identity (cache-block identity).
+    pub file: u32,
+    /// Whether the session saw reads and no writes.
+    pub read_only: bool,
+}
+
+/// Index of all sessions in a trace.
+#[derive(Clone, Debug, Default)]
+pub struct SessionIndex {
+    map: HashMap<u32, SessionFacts>,
+}
+
+impl SessionIndex {
+    /// Build the index (the first pass).
+    pub fn build(events: &[OrderedEvent]) -> SessionIndex {
+        let mut map: HashMap<u32, SessionFacts> = HashMap::new();
+        let mut wrote: HashMap<u32, bool> = HashMap::new();
+        let mut read: HashMap<u32, bool> = HashMap::new();
+        for e in events {
+            match e.body {
+                EventBody::Open {
+                    job, file, session, ..
+                } => {
+                    map.entry(session).or_insert(SessionFacts {
+                        job,
+                        file,
+                        read_only: false,
+                    });
+                }
+                EventBody::Read { session, .. } => {
+                    read.insert(session, true);
+                }
+                EventBody::Write { session, .. } => {
+                    wrote.insert(session, true);
+                }
+                _ => {}
+            }
+        }
+        for (session, facts) in map.iter_mut() {
+            facts.read_only = read.get(session).copied().unwrap_or(false)
+                && !wrote.get(session).copied().unwrap_or(false);
+        }
+        SessionIndex { map }
+    }
+
+    /// Look up a session.
+    pub fn get(&self, session: u32) -> Option<&SessionFacts> {
+        self.map.get(&session)
+    }
+
+    /// Number of indexed sessions.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use charisma_ipsc::SimTime;
+    use charisma_trace::record::AccessKind;
+
+    fn ev(body: EventBody) -> OrderedEvent {
+        OrderedEvent {
+            time: SimTime::ZERO,
+            node: 0,
+            body,
+        }
+    }
+
+    #[test]
+    fn classifies_read_only_sessions() {
+        let events = vec![
+            ev(EventBody::Open {
+                job: 1,
+                file: 10,
+                session: 1,
+                mode: 0,
+                access: AccessKind::Read,
+                created: false,
+            }),
+            ev(EventBody::Read {
+                session: 1,
+                offset: 0,
+                bytes: 100,
+            }),
+            ev(EventBody::Open {
+                job: 2,
+                file: 11,
+                session: 2,
+                mode: 0,
+                access: AccessKind::ReadWrite,
+                created: true,
+            }),
+            ev(EventBody::Read {
+                session: 2,
+                offset: 0,
+                bytes: 100,
+            }),
+            ev(EventBody::Write {
+                session: 2,
+                offset: 0,
+                bytes: 100,
+            }),
+            ev(EventBody::Open {
+                job: 3,
+                file: 12,
+                session: 3,
+                mode: 0,
+                access: AccessKind::Read,
+                created: false,
+            }),
+        ];
+        let idx = SessionIndex::build(&events);
+        assert_eq!(idx.len(), 3);
+        assert!(idx.get(1).unwrap().read_only);
+        assert!(!idx.get(2).unwrap().read_only, "read-write");
+        assert!(!idx.get(3).unwrap().read_only, "unaccessed is not RO");
+        assert_eq!(idx.get(1).unwrap().job, 1);
+        assert_eq!(idx.get(2).unwrap().file, 11);
+        assert!(idx.get(9).is_none());
+    }
+}

@@ -1,0 +1,138 @@
+//! CFS error types.
+
+use crate::mode::IoMode;
+
+/// Errors returned by the CFS simulator.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CfsError {
+    /// The session id does not name a live open session.
+    NotOpen {
+        /// The offending session id.
+        session: u32,
+    },
+    /// The node issued a request on a session it never attached to.
+    NotAttached {
+        /// The offending session id.
+        session: u32,
+        /// The unattached node.
+        node: u16,
+    },
+    /// A node re-opened a session it already holds open.
+    AlreadyAttached {
+        /// The offending session id.
+        session: u32,
+        /// The node.
+        node: u16,
+    },
+    /// In mode 2/3 a node issued a request out of its round-robin turn.
+    OutOfTurn {
+        /// The offending session id.
+        session: u32,
+        /// The node that jumped the queue.
+        node: u16,
+        /// The node whose turn it was.
+        expected: u16,
+    },
+    /// In mode 3 a request's size differs from the established size.
+    SizeMismatch {
+        /// The offending session id.
+        session: u32,
+        /// The established request size.
+        expected: u32,
+        /// The size actually requested.
+        got: u32,
+    },
+    /// A mode-specific operation was applied under the wrong mode.
+    WrongMode {
+        /// The session's actual mode.
+        mode: IoMode,
+    },
+    /// Seeks are meaningless on shared-pointer sessions.
+    SeekOnSharedPointer {
+        /// The offending session id.
+        session: u32,
+    },
+    /// A write would exceed the file system's total disk capacity.
+    NoSpace {
+        /// Bytes requested beyond what is available.
+        short_by: u64,
+    },
+    /// The file was opened read-only but a write was attempted, or
+    /// vice versa.
+    AccessDenied {
+        /// The offending session id.
+        session: u32,
+    },
+    /// The named file does not exist (open without create, or delete).
+    NoSuchFile,
+}
+
+impl std::fmt::Display for CfsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CfsError::NotOpen { session } => write!(f, "session {session} is not open"),
+            CfsError::NotAttached { session, node } => {
+                write!(f, "node {node} is not attached to session {session}")
+            }
+            CfsError::AlreadyAttached { session, node } => {
+                write!(f, "node {node} is already attached to session {session}")
+            }
+            CfsError::OutOfTurn {
+                session,
+                node,
+                expected,
+            } => write!(
+                f,
+                "node {node} out of turn on session {session} (expected node {expected})"
+            ),
+            CfsError::SizeMismatch {
+                session,
+                expected,
+                got,
+            } => write!(
+                f,
+                "mode-3 size mismatch on session {session}: expected {expected}, got {got}"
+            ),
+            CfsError::WrongMode { mode } => write!(f, "operation invalid in mode {:?}", mode),
+            CfsError::SeekOnSharedPointer { session } => {
+                write!(f, "seek on shared-pointer session {session}")
+            }
+            CfsError::NoSpace { short_by } => {
+                write!(f, "file system full ({short_by} bytes over capacity)")
+            }
+            CfsError::AccessDenied { session } => {
+                write!(f, "access mode forbids this request on session {session}")
+            }
+            CfsError::NoSuchFile => write!(f, "no such file"),
+        }
+    }
+}
+
+impl std::error::Error for CfsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render() {
+        let samples: Vec<CfsError> = vec![
+            CfsError::NotOpen { session: 3 },
+            CfsError::OutOfTurn {
+                session: 1,
+                node: 4,
+                expected: 2,
+            },
+            CfsError::SizeMismatch {
+                session: 9,
+                expected: 1024,
+                got: 512,
+            },
+            CfsError::NoSpace { short_by: 4096 },
+            CfsError::NoSuchFile,
+        ];
+        for e in samples {
+            assert!(!format!("{e}").is_empty());
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! A simulator of Intel's Concurrent File System (CFS), the parallel file
+//! system of the iPSC/860.
+//!
+//! "Intel's Concurrent File System provides a Unix-like interface to the
+//! user with the addition of four I/O modes to help the programmer
+//! coordinate parallel access to files. ... CFS stripes each file across all
+//! disks in 4 KB blocks. Compute nodes send requests directly to the
+//! appropriate I/O node. Only the I/O nodes have a buffer cache."
+//! (paper, section 2.4)
+//!
+//! Modules:
+//!
+//! * [`mode`] — the four CFS I/O modes and their coordination semantics;
+//! * [`stripe`] — round-robin 4 KB block striping across I/O nodes;
+//! * [`disk`] — a first-order disk service-time model;
+//! * [`cache`] — block buffer caches (LRU, FIFO, and an
+//!   interprocess-locality-aware policy, the paper's section 5 future-work
+//!   item);
+//! * [`fs`] — the file-system proper: open/read/write/seek/close/delete;
+//! * [`strided`] — the paper's recommended strided-request interface, as an
+//!   extension;
+//! * [`collective`] — collective I/O, as an extension.
+
+pub mod cache;
+pub mod collective;
+pub mod disk;
+pub mod error;
+pub mod fs;
+pub mod mode;
+pub mod stripe;
+pub mod strided;
+
+pub use cache::{BlockCache, BlockKey, FifoCache, IplCache, LruCache};
+pub use disk::{DiskModel, DiskState};
+pub use error::CfsError;
+pub use fs::{Access, Cfs, CfsConfig, CfsStats, IoOutcome, OpenResult};
+pub use strided::StridedSpec;
+pub use collective::{CollectiveOutcome, CollectiveShare};
+pub use mode::IoMode;
+pub use stripe::Striping;
+
+/// The CFS file-system block size: "CFS stripes each file across all disks
+/// in 4 KB blocks."
+pub const BLOCK_BYTES: u64 = 4096;

@@ -1,0 +1,113 @@
+//! Round-robin block striping.
+//!
+//! "CFS stripes each file across all disks in 4 KB blocks." Block `b` of any
+//! file lives on I/O node `b mod n`, so a large sequential transfer engages
+//! every disk, and an interleaved parallel read spreads naturally across the
+//! I/O nodes. The paper's I/O-node cache simulation assumes exactly this
+//! placement (§4.8).
+
+use crate::BLOCK_BYTES;
+
+/// The striping function: file offsets → blocks → I/O nodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Striping {
+    /// Stripe unit in bytes (4096 for CFS).
+    pub block_bytes: u64,
+    /// Number of I/O nodes the file system stripes across.
+    pub io_nodes: usize,
+}
+
+impl Striping {
+    /// CFS striping over `io_nodes` I/O nodes.
+    pub fn cfs(io_nodes: usize) -> Self {
+        assert!(io_nodes > 0, "need at least one I/O node");
+        Striping {
+            block_bytes: BLOCK_BYTES,
+            io_nodes,
+        }
+    }
+
+    /// The block index containing byte `offset`.
+    pub fn block_of(self, offset: u64) -> u64 {
+        offset / self.block_bytes
+    }
+
+    /// The I/O node owning block `block`.
+    pub fn io_node_of(self, block: u64) -> usize {
+        (block % self.io_nodes as u64) as usize
+    }
+
+    /// The blocks touched by a request of `bytes` bytes at `offset`,
+    /// as an inclusive-exclusive block range. Zero-byte requests touch no
+    /// blocks.
+    pub fn blocks_of_request(self, offset: u64, bytes: u64) -> std::ops::Range<u64> {
+        if bytes == 0 {
+            let b = self.block_of(offset);
+            return b..b;
+        }
+        self.block_of(offset)..self.block_of(offset + bytes - 1) + 1
+    }
+
+    /// Number of distinct blocks touched by a request.
+    pub fn block_count(self, offset: u64, bytes: u64) -> u64 {
+        let r = self.blocks_of_request(offset, bytes);
+        r.end - r.start
+    }
+
+    /// Number of distinct I/O nodes engaged by a request.
+    pub fn io_nodes_of_request(self, offset: u64, bytes: u64) -> usize {
+        (self.block_count(offset, bytes) as usize).min(self.io_nodes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_mapping() {
+        let s = Striping::cfs(10);
+        assert_eq!(s.block_of(0), 0);
+        assert_eq!(s.block_of(4095), 0);
+        assert_eq!(s.block_of(4096), 1);
+        assert_eq!(s.io_node_of(0), 0);
+        assert_eq!(s.io_node_of(9), 9);
+        assert_eq!(s.io_node_of(10), 0);
+    }
+
+    #[test]
+    fn request_block_ranges() {
+        let s = Striping::cfs(4);
+        assert_eq!(s.blocks_of_request(0, 1), 0..1);
+        assert_eq!(s.blocks_of_request(0, 4096), 0..1);
+        assert_eq!(s.blocks_of_request(0, 4097), 0..2);
+        assert_eq!(s.blocks_of_request(4000, 200), 0..2, "straddles blocks");
+        assert_eq!(s.blocks_of_request(8192, 8192), 2..4);
+        let empty = s.blocks_of_request(500, 0);
+        assert_eq!(empty.start, empty.end);
+    }
+
+    #[test]
+    fn io_node_engagement_saturates() {
+        let s = Striping::cfs(4);
+        assert_eq!(s.io_nodes_of_request(0, 512), 1);
+        assert_eq!(s.io_nodes_of_request(0, 2 * 4096), 2);
+        // 100 blocks over 4 I/O nodes: every node engaged, not 100.
+        assert_eq!(s.io_nodes_of_request(0, 100 * 4096), 4);
+    }
+
+    #[test]
+    fn one_megabyte_spans_all_ten_nas_disks() {
+        // The paper's 1 MB requests (the Figure 4 spike) engage the whole
+        // disk farm: 256 blocks round-robin over 10 I/O nodes.
+        let s = Striping::cfs(10);
+        assert_eq!(s.block_count(0, 1 << 20), 256);
+        assert_eq!(s.io_nodes_of_request(0, 1 << 20), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_io_nodes_rejected() {
+        Striping::cfs(0);
+    }
+}

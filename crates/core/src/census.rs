@@ -1,0 +1,172 @@
+//! §4.2's file census and Figure 3.
+
+use crate::analyze::{Characterization, SessionClass};
+use crate::cdf::Cdf;
+
+/// The §4.2 census: how the ~64,000 opened files divided by use.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Census {
+    /// Total open sessions.
+    pub total: usize,
+    /// Files only written.
+    pub write_only: usize,
+    /// Files only read.
+    pub read_only: usize,
+    /// Files read and written in the same open.
+    pub read_write: usize,
+    /// Files opened but neither read nor written.
+    pub unaccessed: usize,
+    /// Temporary files (created and deleted by the same job).
+    pub temporary: usize,
+    /// Mean bytes written per write-only file (paper: 1.2 MB).
+    pub avg_bytes_written_wo: f64,
+    /// Mean bytes read per read-only file (paper: 3.3 MB).
+    pub avg_bytes_read_ro: f64,
+}
+
+/// Compute the census.
+pub fn census(c: &Characterization) -> Census {
+    let mut out = Census::default();
+    let mut wo_bytes = 0u64;
+    let mut ro_bytes = 0u64;
+    for s in c.sessions.values() {
+        out.total += 1;
+        match s.class() {
+            SessionClass::WriteOnly => {
+                out.write_only += 1;
+                wo_bytes += s.bytes_written;
+            }
+            SessionClass::ReadOnly => {
+                out.read_only += 1;
+                ro_bytes += s.bytes_read;
+            }
+            SessionClass::ReadWrite => out.read_write += 1,
+            SessionClass::Unaccessed => out.unaccessed += 1,
+        }
+        if s.temporary() {
+            out.temporary += 1;
+        }
+    }
+    out.avg_bytes_written_wo = wo_bytes as f64 / out.write_only.max(1) as f64;
+    out.avg_bytes_read_ro = ro_bytes as f64 / out.read_only.max(1) as f64;
+    out
+}
+
+impl Census {
+    /// Fraction of opens that were to temporary files (paper: 0.61 %).
+    pub fn temporary_fraction(&self) -> f64 {
+        self.temporary as f64 / self.total.max(1) as f64
+    }
+}
+
+/// Figure 3: CDF of file size at close, over accessed sessions.
+pub fn size_cdf(c: &Characterization) -> Cdf {
+    let mut cdf = Cdf::new();
+    for s in c.sessions.values() {
+        if s.class() != SessionClass::Unaccessed {
+            cdf.add(s.size_at_close);
+        }
+    }
+    cdf.seal();
+    cdf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::analyze;
+    use charisma_ipsc::SimTime;
+    use charisma_trace::record::{AccessKind, EventBody};
+    use charisma_trace::OrderedEvent;
+
+    fn ev(time_us: u64, node: u16, body: EventBody) -> OrderedEvent {
+        OrderedEvent {
+            time: SimTime::from_micros(time_us),
+            node,
+            body,
+        }
+    }
+
+    fn session(events: &mut Vec<OrderedEvent>, sid: u32, writes: u32, reads: u32, size: u64) {
+        let t0 = events.len() as u64 * 100;
+        events.push(ev(
+            t0,
+            0,
+            EventBody::Open {
+                job: 1,
+                file: sid,
+                session: sid,
+                mode: 0,
+                access: AccessKind::ReadWrite,
+                created: true,
+            },
+        ));
+        for k in 0..writes {
+            events.push(ev(
+                t0 + 1 + u64::from(k),
+                0,
+                EventBody::Write {
+                    session: sid,
+                    offset: u64::from(k) * 100,
+                    bytes: 100,
+                },
+            ));
+        }
+        for k in 0..reads {
+            events.push(ev(
+                t0 + 50 + u64::from(k),
+                0,
+                EventBody::Read {
+                    session: sid,
+                    offset: u64::from(k) * 100,
+                    bytes: 100,
+                },
+            ));
+        }
+        events.push(ev(t0 + 99, 0, EventBody::Close { session: sid, size }));
+    }
+
+    #[test]
+    fn census_counts_classes() {
+        let mut events = Vec::new();
+        session(&mut events, 1, 3, 0, 300); // WO
+        session(&mut events, 2, 5, 0, 500); // WO
+        session(&mut events, 3, 0, 2, 1000); // RO
+        session(&mut events, 4, 1, 1, 100); // RW
+        session(&mut events, 5, 0, 0, 0); // unaccessed
+        let c = analyze(&events);
+        let cen = census(&c);
+        assert_eq!(cen.total, 5);
+        assert_eq!(cen.write_only, 2);
+        assert_eq!(cen.read_only, 1);
+        assert_eq!(cen.read_write, 1);
+        assert_eq!(cen.unaccessed, 1);
+        assert!((cen.avg_bytes_written_wo - 400.0).abs() < 1e-9);
+        assert!((cen.avg_bytes_read_ro - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn size_cdf_excludes_unaccessed() {
+        let mut events = Vec::new();
+        session(&mut events, 1, 1, 0, 25_000);
+        session(&mut events, 2, 1, 0, 250_000);
+        session(&mut events, 3, 0, 0, 0); // unaccessed: excluded
+        let c = analyze(&events);
+        let cdf = size_cdf(&c);
+        assert_eq!(cdf.total() as usize, 2);
+        assert!((cdf.fraction_le(25_000) - 0.5).abs() < 1e-9);
+        assert!((cdf.fraction_le(250_000) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn temporary_fraction() {
+        let mut events = Vec::new();
+        session(&mut events, 1, 1, 0, 100);
+        session(&mut events, 2, 1, 0, 100);
+        events.push(ev(10_000, 0, EventBody::Delete { job: 1, file: 2 }));
+        let c = analyze(&events);
+        let cen = census(&c);
+        assert_eq!(cen.temporary, 1);
+        assert!((cen.temporary_fraction() - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,354 @@
+//! Machine-readable export of every figure's series, as plain CSV (one
+//! file per figure/table), for downstream plotting.
+
+use std::fmt::Write as _;
+
+use crate::analyze::{Characterization, SessionClass};
+use crate::cdf::Cdf;
+use crate::census;
+use crate::intervals;
+use crate::jobs;
+use crate::modes;
+use crate::report::Report;
+use crate::sequential::{self, Metric};
+use crate::sharing;
+
+/// One exported file: a name stem and CSV contents.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CsvFile {
+    /// File name stem (e.g. `fig3_file_sizes`); append `.csv`.
+    pub name: &'static str,
+    /// The CSV text, header row included.
+    pub contents: String,
+}
+
+fn cdf_csv(name: &'static str, header: &str, cdf: &Cdf) -> CsvFile {
+    let mut s = String::new();
+    writeln!(s, "{header}").expect("write to string");
+    for (value, fraction) in cdf.curve() {
+        writeln!(s, "{value},{fraction:.6}").expect("write to string");
+    }
+    CsvFile { name, contents: s }
+}
+
+/// Export every figure and table of a report as CSV files.
+pub fn export_csv(report: &Report) -> Vec<CsvFile> {
+    let chars: &Characterization = &report.chars;
+    let mut files = Vec::new();
+
+    // Figure 1.
+    let mut s = String::from("jobs,fraction_of_time\n");
+    for (k, f) in jobs::concurrency_profile(chars).iter().enumerate() {
+        writeln!(s, "{k},{f:.6}").expect("write");
+    }
+    files.push(CsvFile {
+        name: "fig1_concurrency",
+        contents: s,
+    });
+
+    // Figure 2.
+    let mut s = String::from("nodes,percent_of_jobs\n");
+    for (n, pct) in jobs::node_usage(chars) {
+        writeln!(s, "{n},{pct:.4}").expect("write");
+    }
+    files.push(CsvFile {
+        name: "fig2_nodes_per_job",
+        contents: s,
+    });
+
+    // Table 1.
+    let t1 = jobs::files_per_job(chars);
+    let mut s = String::from("files_opened,jobs\n");
+    for (label, v) in ["1", "2", "3", "4", "5+"].iter().zip(t1) {
+        writeln!(s, "{label},{v}").expect("write");
+    }
+    files.push(CsvFile {
+        name: "table1_files_per_job",
+        contents: s,
+    });
+
+    // Figure 3 + census.
+    files.push(cdf_csv(
+        "fig3_file_sizes",
+        "file_size_bytes,cdf",
+        &census::size_cdf(chars),
+    ));
+    let cen = census::census(chars);
+    let mut s = String::from("class,files\n");
+    for (label, v) in [
+        ("total", cen.total),
+        ("write_only", cen.write_only),
+        ("read_only", cen.read_only),
+        ("read_write", cen.read_write),
+        ("unaccessed", cen.unaccessed),
+        ("temporary", cen.temporary),
+    ] {
+        writeln!(s, "{label},{v}").expect("write");
+    }
+    files.push(CsvFile {
+        name: "census",
+        contents: s,
+    });
+
+    // Figure 4 (four curves).
+    files.push(cdf_csv(
+        "fig4_reads_by_count",
+        "request_bytes,cdf",
+        &report.request_sizes.reads_by_count,
+    ));
+    files.push(cdf_csv(
+        "fig4_reads_by_bytes",
+        "request_bytes,cdf",
+        &report.request_sizes.reads_by_bytes,
+    ));
+    files.push(cdf_csv(
+        "fig4_writes_by_count",
+        "request_bytes,cdf",
+        &report.request_sizes.writes_by_count,
+    ));
+    files.push(cdf_csv(
+        "fig4_writes_by_bytes",
+        "request_bytes,cdf",
+        &report.request_sizes.writes_by_bytes,
+    ));
+
+    // Figures 5-6.
+    for (name, metric) in [
+        ("fig5_sequential", Metric::Sequential),
+        ("fig6_consecutive", Metric::Consecutive),
+    ] {
+        let cdfs = sequential::cdfs(chars, metric);
+        let mut s = String::from("class,percent,cdf\n");
+        for (class, cdf) in [
+            ("read_only", &cdfs.read_only),
+            ("write_only", &cdfs.write_only),
+            ("read_write", &cdfs.read_write),
+        ] {
+            for (value, fraction) in cdf.curve() {
+                writeln!(s, "{class},{value},{fraction:.6}").expect("write");
+            }
+        }
+        files.push(match name {
+            "fig5_sequential" => CsvFile {
+                name: "fig5_sequential",
+                contents: s,
+            },
+            _ => CsvFile {
+                name: "fig6_consecutive",
+                contents: s,
+            },
+        });
+    }
+
+    // Tables 2-3.
+    for (name, table) in [
+        ("table2_interval_sizes", intervals::interval_table(chars)),
+        ("table3_request_sizes", intervals::request_size_table(chars)),
+    ] {
+        let mut s = String::from("distinct_values,files,percent\n");
+        let p = table.percents();
+        for (i, label) in ["0", "1", "2", "3", "4+"].iter().enumerate() {
+            writeln!(s, "{label},{},{:.4}", table.rows[i], p[i]).expect("write");
+        }
+        files.push(match name {
+            "table2_interval_sizes" => CsvFile {
+                name: "table2_interval_sizes",
+                contents: s,
+            },
+            _ => CsvFile {
+                name: "table3_request_sizes",
+                contents: s,
+            },
+        });
+    }
+
+    // Modes.
+    let mu = modes::mode_usage(chars);
+    let mut s = String::from("mode,files\n");
+    for (m, &k) in mu.counts.iter().enumerate() {
+        writeln!(s, "{m},{k}").expect("write");
+    }
+    files.push(CsvFile {
+        name: "modes",
+        contents: s,
+    });
+
+    // Figure 7.
+    let sh = sharing::sharing_cdfs(chars);
+    let mut s = String::from("class,granularity,percent_shared,cdf\n");
+    for (class, gran, cdf) in [
+        ("read_only", "bytes", &sh.read_bytes),
+        ("read_only", "blocks", &sh.read_blocks),
+        ("write_only", "bytes", &sh.write_bytes),
+        ("write_only", "blocks", &sh.write_blocks),
+        ("read_write", "bytes", &sh.rw_bytes),
+        ("read_write", "blocks", &sh.rw_blocks),
+    ] {
+        for (value, fraction) in cdf.curve() {
+            writeln!(s, "{class},{gran},{value},{fraction:.6}").expect("write");
+        }
+    }
+    files.push(CsvFile {
+        name: "fig7_sharing",
+        contents: s,
+    });
+
+    files
+}
+
+/// Convenience for callers that want a quick sanity count of exported
+/// rows (used by tests and the `repro` binary's logging).
+pub fn row_count(files: &[CsvFile]) -> usize {
+    files
+        .iter()
+        .map(|f| f.contents.lines().count().saturating_sub(1))
+        .sum()
+}
+
+/// The per-class "fully sequential" summary used in EXPERIMENTS.md,
+/// exported alongside (handy for regression dashboards).
+pub fn summary_csv(report: &Report) -> CsvFile {
+    let chars = &report.chars;
+    let cen = census::census(chars);
+    let seq = sequential::cdfs(chars, Metric::Sequential);
+    let con = sequential::cdfs(chars, Metric::Consecutive);
+    let mu = modes::mode_usage(chars);
+    let rs = &report.request_sizes;
+    let mut s = String::from("metric,value\n");
+    let rows: Vec<(&str, f64)> = vec![
+        ("opens", cen.total as f64),
+        ("write_only", cen.write_only as f64),
+        ("read_only", cen.read_only as f64),
+        ("read_write", cen.read_write as f64),
+        ("unaccessed", cen.unaccessed as f64),
+        ("temporary_fraction", cen.temporary_fraction()),
+        ("mb_written_per_wo", cen.avg_bytes_written_wo / 1e6),
+        ("mb_read_per_ro", cen.avg_bytes_read_ro / 1e6),
+        ("small_read_fraction", rs.small_read_fraction()),
+        ("small_read_data_fraction", rs.small_read_data_fraction()),
+        ("small_write_fraction", rs.small_write_fraction()),
+        ("small_write_data_fraction", rs.small_write_data_fraction()),
+        ("ro_fully_sequential", seq.fully(SessionClass::ReadOnly)),
+        ("wo_fully_sequential", seq.fully(SessionClass::WriteOnly)),
+        ("ro_fully_consecutive", con.fully(SessionClass::ReadOnly)),
+        ("wo_fully_consecutive", con.fully(SessionClass::WriteOnly)),
+        ("mode0_fraction", mu.mode0_fraction()),
+        (
+            "interjob_concurrent_shares",
+            sharing::concurrent_interjob_shares(chars) as f64,
+        ),
+    ];
+    for (k, v) in rows {
+        writeln!(s, "{k},{v:.6}").expect("write");
+    }
+    CsvFile {
+        name: "summary",
+        contents: s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use charisma_ipsc::SimTime;
+    use charisma_trace::record::{AccessKind, EventBody};
+    use charisma_trace::OrderedEvent;
+
+    fn report() -> Report {
+        let mut events = Vec::new();
+        events.push(OrderedEvent {
+            time: SimTime::ZERO,
+            node: u16::MAX,
+            body: EventBody::JobStart {
+                job: 1,
+                nodes: 2,
+                traced: true,
+            },
+        });
+        events.push(OrderedEvent {
+            time: SimTime::from_micros(1),
+            node: 0,
+            body: EventBody::Open {
+                job: 1,
+                file: 1,
+                session: 1,
+                mode: 0,
+                access: AccessKind::Write,
+                created: true,
+            },
+        });
+        for k in 0..4u64 {
+            events.push(OrderedEvent {
+                time: SimTime::from_micros(2 + k),
+                node: 0,
+                body: EventBody::Write {
+                    session: 1,
+                    offset: k * 512,
+                    bytes: 512,
+                },
+            });
+        }
+        events.push(OrderedEvent {
+            time: SimTime::from_micros(10),
+            node: 0,
+            body: EventBody::Close {
+                session: 1,
+                size: 2048,
+            },
+        });
+        events.push(OrderedEvent {
+            time: SimTime::from_micros(11),
+            node: u16::MAX,
+            body: EventBody::JobEnd { job: 1 },
+        });
+        Report::from_events(&events)
+    }
+
+    #[test]
+    fn exports_every_figure() {
+        let files = export_csv(&report());
+        let names: Vec<&str> = files.iter().map(|f| f.name).collect();
+        for expect in [
+            "fig1_concurrency",
+            "fig2_nodes_per_job",
+            "table1_files_per_job",
+            "fig3_file_sizes",
+            "census",
+            "fig4_reads_by_count",
+            "fig4_writes_by_bytes",
+            "fig5_sequential",
+            "fig6_consecutive",
+            "table2_interval_sizes",
+            "table3_request_sizes",
+            "modes",
+            "fig7_sharing",
+        ] {
+            assert!(names.contains(&expect), "missing {expect}");
+        }
+        assert!(row_count(&files) > 10);
+    }
+
+    #[test]
+    fn csv_is_well_formed() {
+        for f in export_csv(&report()) {
+            let mut lines = f.contents.lines();
+            let header = lines.next().expect("header");
+            let cols = header.split(',').count();
+            for (i, line) in lines.enumerate() {
+                assert_eq!(
+                    line.split(',').count(),
+                    cols,
+                    "{}: row {i} column mismatch",
+                    f.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn summary_contains_key_metrics() {
+        let s = summary_csv(&report());
+        assert!(s.contents.contains("write_only,1"));
+        assert!(s.contents.contains("mode0_fraction,1.000000"));
+    }
+}

@@ -1,0 +1,186 @@
+//! Tables 2 and 3: regularity of interval sizes and request sizes.
+//!
+//! Table 2 counts, per file, the number of *different interval sizes*
+//! (bytes skipped between one request and the next, per node) used across
+//! all nodes; Table 3 counts the number of different request sizes. The
+//! paper's rows are 0, 1, 2, 3, and 4+.
+
+use crate::analyze::Characterization;
+
+/// A Table 2/3-style row vector: counts of files with 0, 1, 2, 3, and 4+
+/// distinct values.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RegularityTable {
+    /// `rows[k]` = files with k distinct values (k = 0..3); `rows[4]` = 4+.
+    pub rows: [usize; 5],
+}
+
+impl RegularityTable {
+    /// Total files counted.
+    pub fn total(&self) -> usize {
+        self.rows.iter().sum()
+    }
+
+    /// Row values as percentages of the total.
+    pub fn percents(&self) -> [f64; 5] {
+        let total = self.total().max(1) as f64;
+        let mut out = [0.0; 5];
+        for (o, &r) in out.iter_mut().zip(&self.rows) {
+            *o = 100.0 * r as f64 / total;
+        }
+        out
+    }
+
+    fn add(&mut self, distinct: usize) {
+        self.rows[distinct.min(4)] += 1;
+    }
+}
+
+/// Table 2: distinct interval sizes per file.
+///
+/// Files where no node made a second request land in row 0 ("only one
+/// access was made to a file, per node"), including unaccessed opens.
+pub fn interval_table(c: &Characterization) -> RegularityTable {
+    let mut t = RegularityTable::default();
+    for s in c.sessions.values() {
+        t.add(s.intervals.distinct());
+    }
+    t
+}
+
+/// Table 3: distinct request sizes per file. Unaccessed opens land in
+/// row 0 ("opened and closed without being accessed").
+pub fn request_size_table(c: &Characterization) -> RegularityTable {
+    let mut t = RegularityTable::default();
+    for s in c.sessions.values() {
+        t.add(s.request_sizes.distinct());
+    }
+    t
+}
+
+/// Among files with exactly one distinct interval size, the fraction whose
+/// interval is zero — i.e. consecutive. The paper reports over 99 %.
+pub fn one_interval_consecutive_fraction(c: &Characterization) -> f64 {
+    let mut one = 0usize;
+    let mut zero = 0usize;
+    for s in c.sessions.values() {
+        if s.intervals.distinct() == 1 {
+            one += 1;
+            if s.intervals.values() == [0] {
+                zero += 1;
+            }
+        }
+    }
+    zero as f64 / one.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::analyze;
+    use charisma_ipsc::SimTime;
+    use charisma_trace::record::{AccessKind, EventBody};
+    use charisma_trace::OrderedEvent;
+
+    fn ev(t: u64, node: u16, body: EventBody) -> OrderedEvent {
+        OrderedEvent {
+            time: SimTime::from_micros(t),
+            node,
+            body,
+        }
+    }
+
+    fn reads(sid: u32, node: u16, specs: &[(u64, u32)]) -> Vec<OrderedEvent> {
+        let mut out = vec![ev(
+            u64::from(sid) * 1000,
+            node,
+            EventBody::Open {
+                job: 1,
+                file: sid,
+                session: sid,
+                mode: 0,
+                access: AccessKind::Read,
+                created: false,
+            },
+        )];
+        for (k, &(offset, bytes)) in specs.iter().enumerate() {
+            out.push(ev(
+                u64::from(sid) * 1000 + 1 + k as u64,
+                node,
+                EventBody::Read {
+                    session: sid,
+                    offset,
+                    bytes,
+                },
+            ));
+        }
+        out
+    }
+
+    #[test]
+    fn rows_classify_distinct_interval_counts() {
+        let mut events = Vec::new();
+        // sid 1: one request → 0 intervals.
+        events.extend(reads(1, 0, &[(0, 100)]));
+        // sid 2: consecutive → intervals {0} → 1.
+        events.extend(reads(2, 0, &[(0, 100), (100, 100), (200, 100)]));
+        // sid 3: strided → {412} → 1.
+        events.extend(reads(3, 0, &[(0, 100), (512, 100), (1024, 100)]));
+        // sid 4: 2-D pattern → {0, 412} → 2.
+        events.extend(reads(4, 0, &[(0, 100), (100, 100), (612, 100), (712, 100)]));
+        // sid 5: random → 4+ distinct.
+        events.extend(reads(
+            5,
+            0,
+            &[(0, 10), (100, 10), (5, 10), (900, 10), (20, 10), (700, 10)],
+        ));
+        let c = analyze(&events);
+        let t = interval_table(&c);
+        assert_eq!(t.rows, [1, 2, 1, 0, 1]);
+        assert_eq!(t.total(), 5);
+    }
+
+    #[test]
+    fn intervals_pool_across_nodes() {
+        // Two nodes, each with the same stride: still one distinct value.
+        let mut events = Vec::new();
+        events.extend(reads(1, 0, &[(0, 100), (512, 100)]));
+        events.extend(reads(1, 1, &[(100, 100), (612, 100)]));
+        let c = analyze(&events);
+        assert_eq!(c.sessions[&1].intervals.distinct(), 1);
+    }
+
+    #[test]
+    fn request_size_rows() {
+        let mut events = Vec::new();
+        events.extend(reads(1, 0, &[(0, 100), (100, 100)])); // one size
+        events.extend(reads(2, 0, &[(0, 100), (100, 37)])); // two sizes
+        // sid 3: opened but unaccessed → 0 sizes.
+        events.extend(reads(3, 0, &[]));
+        let c = analyze(&events);
+        let t = request_size_table(&c);
+        assert_eq!(t.rows, [1, 1, 1, 0, 0]);
+    }
+
+    #[test]
+    fn percents_sum_to_100() {
+        let mut events = Vec::new();
+        for sid in 0..10 {
+            events.extend(reads(sid, 0, &[(0, 100), (100, 100)]));
+        }
+        let c = analyze(&events);
+        let p = request_size_table(&c).percents();
+        assert!((p.iter().sum::<f64>() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn consecutive_fraction_among_one_interval_files() {
+        let mut events = Vec::new();
+        events.extend(reads(1, 0, &[(0, 100), (100, 100)])); // {0}
+        events.extend(reads(2, 0, &[(0, 100), (100, 100)])); // {0}
+        events.extend(reads(3, 0, &[(0, 100), (512, 100)])); // {412}
+        let c = analyze(&events);
+        let f = one_interval_consecutive_fraction(&c);
+        assert!((f - 2.0 / 3.0).abs() < 1e-9);
+    }
+}

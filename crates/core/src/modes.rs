@@ -1,0 +1,74 @@
+//! §4.6: I/O-mode usage.
+//!
+//! "Our traces show, however, that over 99 % of the files used mode 0;
+//! that is, less than 1 % used modes 1, 2, or 3."
+
+use crate::analyze::Characterization;
+
+/// Count of sessions per CFS I/O mode (index = mode number 0-3).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ModeUsage {
+    /// Sessions per mode.
+    pub counts: [usize; 4],
+}
+
+impl ModeUsage {
+    /// Total sessions.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Fraction of sessions using mode 0.
+    pub fn mode0_fraction(&self) -> f64 {
+        self.counts[0] as f64 / self.total().max(1) as f64
+    }
+}
+
+/// Tally mode usage.
+pub fn mode_usage(c: &Characterization) -> ModeUsage {
+    let mut u = ModeUsage::default();
+    for s in c.sessions.values() {
+        let m = (s.mode as usize).min(3);
+        u.counts[m] += 1;
+    }
+    u
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::analyze;
+    use charisma_ipsc::SimTime;
+    use charisma_trace::record::{AccessKind, EventBody};
+    use charisma_trace::OrderedEvent;
+
+    #[test]
+    fn tallies_modes() {
+        let mut events = Vec::new();
+        for (sid, mode) in [(1u32, 0u8), (2, 0), (3, 1), (4, 3)] {
+            events.push(OrderedEvent {
+                time: SimTime::from_micros(u64::from(sid)),
+                node: 0,
+                body: EventBody::Open {
+                    job: 1,
+                    file: sid,
+                    session: sid,
+                    mode,
+                    access: AccessKind::Read,
+                    created: false,
+                },
+            });
+        }
+        let u = mode_usage(&analyze(&events));
+        assert_eq!(u.counts, [2, 1, 0, 1]);
+        assert_eq!(u.total(), 4);
+        assert!((u.mode0_fraction() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_is_benign() {
+        let u = mode_usage(&analyze(&[]));
+        assert_eq!(u.total(), 0);
+        assert_eq!(u.mode0_fraction(), 0.0);
+    }
+}

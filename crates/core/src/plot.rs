@@ -1,0 +1,218 @@
+//! Terminal plots: render CDF curves and bar charts as text, so `repro`
+//! can *show* the paper's figures, not just tabulate them.
+//!
+//! The output style matches the paper's figures: CDFs on a log-x axis
+//! (Figures 3-4), CDFs on a linear percent axis with multiple curves
+//! (Figures 5-7), and simple bar charts (Figures 1-2).
+
+use std::fmt::Write as _;
+
+use crate::cdf::Cdf;
+
+/// Width of the plotting area in characters.
+const WIDTH: usize = 64;
+/// Height of line plots in rows.
+const HEIGHT: usize = 16;
+
+/// A horizontal bar chart (Figures 1-2 style).
+pub fn bar_chart(title: &str, rows: &[(String, f64)], unit: &str) -> String {
+    let mut out = String::new();
+    writeln!(out, "{title}").expect("write");
+    let max = rows.iter().map(|r| r.1).fold(f64::MIN_POSITIVE, f64::max);
+    let label_w = rows.iter().map(|r| r.0.len()).max().unwrap_or(1);
+    for (label, value) in rows {
+        let filled = ((value / max) * WIDTH as f64).round() as usize;
+        writeln!(
+            out,
+            "  {label:>label_w$} |{}{} {value:.1}{unit}",
+            "█".repeat(filled),
+            " ".repeat(WIDTH - filled.min(WIDTH)),
+        )
+        .expect("write");
+    }
+    out
+}
+
+/// Marker characters used for multi-curve plots, in curve order.
+const MARKS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
+
+/// A multi-curve CDF plot with a log-10 x axis (Figures 3-4 style).
+/// `curves` pairs a legend label with the sealed CDF; `lo..hi` is the x
+/// range in the CDF's units (bytes).
+pub fn cdf_plot_log(title: &str, curves: &[(&str, &Cdf)], lo: u64, hi: u64) -> String {
+    assert!(lo > 0 && hi > lo);
+    let cols: Vec<u64> = (0..WIDTH)
+        .map(|c| {
+            let f = c as f64 / (WIDTH - 1) as f64;
+            let lg = (lo as f64).log10() + f * ((hi as f64).log10() - (lo as f64).log10());
+            10f64.powf(lg).round() as u64
+        })
+        .collect();
+    plot_grid(title, curves, &cols, &format!("log x: {lo} .. {hi} bytes"))
+}
+
+/// A multi-curve CDF plot with a linear 0-100 x axis (Figures 5-7 style,
+/// where x is "percent of accesses ...").
+pub fn cdf_plot_percent(title: &str, curves: &[(&str, &Cdf)]) -> String {
+    let cols: Vec<u64> = (0..WIDTH)
+        .map(|c| (c as f64 / (WIDTH - 1) as f64 * 100.0).round() as u64)
+        .collect();
+    plot_grid(title, curves, &cols, "x: 0 .. 100 %")
+}
+
+fn plot_grid(title: &str, curves: &[(&str, &Cdf)], cols: &[u64], x_label: &str) -> String {
+    let mut grid = vec![vec![' '; cols.len()]; HEIGHT];
+    for (k, (_, cdf)) in curves.iter().enumerate() {
+        if cdf.total() == 0.0 {
+            continue;
+        }
+        let mark = MARKS[k % MARKS.len()];
+        for (c, &x) in cols.iter().enumerate() {
+            let y = cdf.fraction_le(x);
+            let row = ((1.0 - y) * (HEIGHT - 1) as f64).round() as usize;
+            grid[row.min(HEIGHT - 1)][c] = mark;
+        }
+    }
+    let mut out = String::new();
+    writeln!(out, "{title}").expect("write");
+    for (r, row) in grid.iter().enumerate() {
+        let y = 100.0 * (1.0 - r as f64 / (HEIGHT - 1) as f64);
+        let line: String = row.iter().collect();
+        writeln!(out, "  {y:>5.0}% |{line}").expect("write");
+    }
+    writeln!(out, "         +{}", "-".repeat(cols.len())).expect("write");
+    writeln!(out, "          {x_label}").expect("write");
+    let legend: Vec<String> = curves
+        .iter()
+        .enumerate()
+        .map(|(k, (label, _))| format!("{} {label}", MARKS[k % MARKS.len()]))
+        .collect();
+    writeln!(out, "          legend: {}", legend.join("   ")).expect("write");
+    out
+}
+
+/// A line plot of `(x, y)` series with a log x axis (Figure 9 style:
+/// hit rate vs buffer count).
+pub fn line_plot_log(title: &str, series: &[(&str, &[(u64, f64)])]) -> String {
+    let lo = series
+        .iter()
+        .flat_map(|(_, pts)| pts.iter().map(|p| p.0))
+        .min()
+        .unwrap_or(1)
+        .max(1);
+    let hi = series
+        .iter()
+        .flat_map(|(_, pts)| pts.iter().map(|p| p.0))
+        .max()
+        .unwrap_or(2)
+        .max(lo + 1);
+    let mut grid = vec![vec![' '; WIDTH]; HEIGHT];
+    for (k, (_, pts)) in series.iter().enumerate() {
+        let mark = MARKS[k % MARKS.len()];
+        for &(x, y) in *pts {
+            let f = ((x as f64).log10() - (lo as f64).log10())
+                / ((hi as f64).log10() - (lo as f64).log10());
+            let col = (f * (WIDTH - 1) as f64).round() as usize;
+            let row = ((1.0 - y.clamp(0.0, 1.0)) * (HEIGHT - 1) as f64).round() as usize;
+            grid[row.min(HEIGHT - 1)][col.min(WIDTH - 1)] = mark;
+        }
+    }
+    let mut out = String::new();
+    writeln!(out, "{title}").expect("write");
+    for (r, row) in grid.iter().enumerate() {
+        let y = 100.0 * (1.0 - r as f64 / (HEIGHT - 1) as f64);
+        let line: String = row.iter().collect();
+        writeln!(out, "  {y:>5.0}% |{line}").expect("write");
+    }
+    writeln!(out, "         +{}", "-".repeat(WIDTH)).expect("write");
+    writeln!(out, "          log x: {lo} .. {hi}").expect("write");
+    let legend: Vec<String> = series
+        .iter()
+        .enumerate()
+        .map(|(k, (label, _))| format!("{} {label}", MARKS[k % MARKS.len()]))
+        .collect();
+    writeln!(out, "          legend: {}", legend.join("   ")).expect("write");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cdf(values: &[u64]) -> Cdf {
+        let mut c = Cdf::new();
+        for &v in values {
+            c.add(v);
+        }
+        c.seal();
+        c
+    }
+
+    #[test]
+    fn bar_chart_renders_scaled_bars() {
+        let rows = vec![
+            ("0".to_string(), 25.0),
+            ("1".to_string(), 50.0),
+            ("2".to_string(), 12.5),
+        ];
+        let s = bar_chart("Figure 1", &rows, "%");
+        assert!(s.contains("Figure 1"));
+        // The 50% row has the longest bar.
+        let bars: Vec<usize> = s
+            .lines()
+            .skip(1)
+            .map(|l| l.chars().filter(|&c| c == '█').count())
+            .collect();
+        assert_eq!(bars.len(), 3);
+        assert!(bars[1] > bars[0] && bars[0] > bars[2]);
+        assert_eq!(bars[1], WIDTH);
+    }
+
+    #[test]
+    fn log_cdf_plot_is_monotone_left_to_right() {
+        let c = cdf(&[100, 1_000, 1_000, 10_000, 100_000]);
+        let s = cdf_plot_log("Figure 3", &[("files", &c)], 10, 1_000_000);
+        assert!(s.contains("legend: * files"));
+        // Marks must descend in row index (CDF rises) going right: find
+        // the column of the first and last mark rows.
+        let rows: Vec<&str> = s.lines().skip(1).take(HEIGHT).collect();
+        // Line prefix: 2 spaces + 5-char label + "% |" = 10 characters.
+        let mark_row = |col: usize| -> usize {
+            rows.iter()
+                .position(|r| r.chars().nth(10 + col) == Some('*'))
+                .expect("mark in column")
+        };
+        assert!(mark_row(WIDTH - 1) <= mark_row(0), "curve rises");
+    }
+
+    #[test]
+    fn percent_plot_handles_spiky_cdfs() {
+        // The Figure 5 shape: spikes at 0 and 100.
+        let mut values = vec![0u64; 20];
+        values.extend(vec![100u64; 80]);
+        let c = cdf(&values);
+        let s = cdf_plot_percent("Figure 5", &[("read-only", &c)]);
+        assert!(s.contains("read-only"));
+        assert!(s.lines().count() > HEIGHT);
+    }
+
+    #[test]
+    fn empty_cdf_does_not_panic() {
+        let c = {
+            let mut c = Cdf::new();
+            c.seal();
+            c
+        };
+        let s = cdf_plot_percent("empty", &[("nothing", &c)]);
+        assert!(s.contains("empty"));
+    }
+
+    #[test]
+    fn line_plot_places_series() {
+        let a: Vec<(u64, f64)> = vec![(100, 0.5), (1000, 0.8), (10000, 0.9)];
+        let b: Vec<(u64, f64)> = vec![(100, 0.4), (1000, 0.6), (10000, 0.9)];
+        let s = line_plot_log("Figure 9", &[("LRU", &a), ("FIFO", &b)]);
+        assert!(s.contains('*') && s.contains('o'));
+        assert!(s.contains("legend: * LRU   o FIFO"));
+    }
+}

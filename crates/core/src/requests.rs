@@ -1,0 +1,135 @@
+//! Figure 4: request sizes, by count and by data transferred.
+//!
+//! The analyzer's `SessionStat` does not retain individual requests, so
+//! this module accumulates its CDFs in its own streaming pass — cheap, and
+//! it keeps the per-session state small.
+
+use charisma_trace::record::EventBody;
+use charisma_trace::OrderedEvent;
+
+use crate::cdf::Cdf;
+
+/// Figure 4's four curves plus the paper's headline percentages.
+#[derive(Clone, Debug)]
+pub struct RequestSizes {
+    /// CDF of read request sizes, weighted by count.
+    pub reads_by_count: Cdf,
+    /// CDF of read request sizes, weighted by bytes moved.
+    pub reads_by_bytes: Cdf,
+    /// CDF of write request sizes, weighted by count.
+    pub writes_by_count: Cdf,
+    /// CDF of write request sizes, weighted by bytes moved.
+    pub writes_by_bytes: Cdf,
+}
+
+impl RequestSizes {
+    /// Fraction of reads smaller than 4000 bytes (paper: 96.1 %).
+    pub fn small_read_fraction(&self) -> f64 {
+        self.reads_by_count.fraction_le(3999)
+    }
+
+    /// Fraction of read data moved by sub-4000-byte reads (paper: 2.0 %).
+    pub fn small_read_data_fraction(&self) -> f64 {
+        self.reads_by_bytes.fraction_le(3999)
+    }
+
+    /// Fraction of writes smaller than 4000 bytes (paper: 89.4 %).
+    pub fn small_write_fraction(&self) -> f64 {
+        self.writes_by_count.fraction_le(3999)
+    }
+
+    /// Fraction of written data moved by sub-4000-byte writes (paper: 3 %).
+    pub fn small_write_data_fraction(&self) -> f64 {
+        self.writes_by_bytes.fraction_le(3999)
+    }
+}
+
+/// Accumulate the Figure 4 curves from an event stream.
+pub fn request_sizes<'a, I>(events: I) -> RequestSizes
+where
+    I: IntoIterator<Item = &'a OrderedEvent>,
+{
+    let mut out = RequestSizes {
+        reads_by_count: Cdf::new(),
+        reads_by_bytes: Cdf::new(),
+        writes_by_count: Cdf::new(),
+        writes_by_bytes: Cdf::new(),
+    };
+    for e in events {
+        match e.body {
+            EventBody::Read { bytes, .. } => {
+                out.reads_by_count.add(u64::from(bytes));
+                out.reads_by_bytes
+                    .add_weighted(u64::from(bytes), f64::from(bytes));
+            }
+            EventBody::Write { bytes, .. } => {
+                out.writes_by_count.add(u64::from(bytes));
+                out.writes_by_bytes
+                    .add_weighted(u64::from(bytes), f64::from(bytes));
+            }
+            _ => {}
+        }
+    }
+    out.reads_by_count.seal();
+    out.reads_by_bytes.seal();
+    out.writes_by_count.seal();
+    out.writes_by_bytes.seal();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use charisma_ipsc::SimTime;
+
+    fn read(bytes: u32) -> OrderedEvent {
+        OrderedEvent {
+            time: SimTime::ZERO,
+            node: 0,
+            body: EventBody::Read {
+                session: 1,
+                offset: 0,
+                bytes,
+            },
+        }
+    }
+
+    fn write(bytes: u32) -> OrderedEvent {
+        OrderedEvent {
+            time: SimTime::ZERO,
+            node: 0,
+            body: EventBody::Write {
+                session: 1,
+                offset: 0,
+                bytes,
+            },
+        }
+    }
+
+    #[test]
+    fn paper_shape_small_count_large_bytes() {
+        // 96 small reads, 4 large ones carrying almost all data.
+        let mut events: Vec<_> = (0..96).map(|_| read(512)).collect();
+        events.extend((0..4).map(|_| read(1 << 20)));
+        let rs = request_sizes(&events);
+        assert!(rs.small_read_fraction() > 0.95);
+        assert!(rs.small_read_data_fraction() < 0.02);
+    }
+
+    #[test]
+    fn reads_and_writes_separate() {
+        let events = vec![read(100), write(1 << 20)];
+        let rs = request_sizes(&events);
+        assert_eq!(rs.reads_by_count.total() as u64, 1);
+        assert_eq!(rs.writes_by_count.total() as u64, 1);
+        assert!(rs.small_read_fraction() > 0.99);
+        assert!(rs.small_write_fraction() < 0.01);
+    }
+
+    #[test]
+    fn empty_stream_is_benign() {
+        let rs = request_sizes(&[]);
+        assert_eq!(rs.small_read_fraction(), 0.0);
+        assert_eq!(rs.small_write_data_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,216 @@
+//! Figures 5 and 6: sequential and consecutive access.
+//!
+//! "We define a sequential request to be one that is at a higher file
+//! offset than the previous request from the same compute node, and a
+//! consecutive request to be a sequential request that begins where the
+//! previous request ended." The figures are CDFs over *files with more
+//! than one request* of the percentage of (per-node) accesses that were
+//! sequential/consecutive, split by read-only / write-only / read-write.
+
+use crate::analyze::{Characterization, SessionClass, SessionStat};
+use crate::cdf::Cdf;
+
+/// Which figure-5/6 metric to compute.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Metric {
+    /// Figure 5: percent of accesses at increasing offsets.
+    Sequential,
+    /// Figure 6: percent of accesses starting exactly at the previous end.
+    Consecutive,
+}
+
+/// Per-class CDFs of percent-sequential (or percent-consecutive).
+#[derive(Clone, Debug)]
+pub struct SequentialityCdfs {
+    /// Read-only files.
+    pub read_only: Cdf,
+    /// Write-only files.
+    pub write_only: Cdf,
+    /// Read-write files.
+    pub read_write: Cdf,
+}
+
+/// Percent of a session's counted accesses that are sequential or
+/// consecutive, pooled across its nodes; `None` when no node issued a
+/// second request (the population excluded from Figures 5-6).
+pub fn session_percent(s: &SessionStat, metric: Metric) -> Option<f64> {
+    let mut counted = 0u64;
+    let mut hits = 0u64;
+    for n in &s.nodes {
+        counted += u64::from(n.counted);
+        hits += u64::from(match metric {
+            Metric::Sequential => n.sequential,
+            Metric::Consecutive => n.consecutive,
+        });
+    }
+    if counted == 0 {
+        return None;
+    }
+    Some(100.0 * hits as f64 / counted as f64)
+}
+
+/// Build the Figure 5 (sequential) or Figure 6 (consecutive) CDFs.
+pub fn cdfs(c: &Characterization, metric: Metric) -> SequentialityCdfs {
+    let mut out = SequentialityCdfs {
+        read_only: Cdf::new(),
+        write_only: Cdf::new(),
+        read_write: Cdf::new(),
+    };
+    for s in c.sessions.values() {
+        let Some(pct) = session_percent(s, metric) else {
+            continue;
+        };
+        let pct = pct.round() as u64;
+        match s.class() {
+            SessionClass::ReadOnly => out.read_only.add(pct),
+            SessionClass::WriteOnly => out.write_only.add(pct),
+            SessionClass::ReadWrite => out.read_write.add(pct),
+            SessionClass::Unaccessed => {}
+        }
+    }
+    out.read_only.seal();
+    out.write_only.seal();
+    out.read_write.seal();
+    out
+}
+
+impl SequentialityCdfs {
+    /// Fraction of files in `class` that are 100 % sequential/consecutive.
+    pub fn fully(&self, class: SessionClass) -> f64 {
+        let cdf = match class {
+            SessionClass::ReadOnly => &self.read_only,
+            SessionClass::WriteOnly => &self.write_only,
+            SessionClass::ReadWrite => &self.read_write,
+            SessionClass::Unaccessed => return 0.0,
+        };
+        if cdf.total() == 0.0 {
+            return 0.0;
+        }
+        1.0 - cdf.fraction_le(99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::analyze;
+    use charisma_ipsc::SimTime;
+    use charisma_trace::record::{AccessKind, EventBody};
+    use charisma_trace::OrderedEvent;
+
+    fn ev(t: u64, node: u16, body: EventBody) -> OrderedEvent {
+        OrderedEvent {
+            time: SimTime::from_micros(t),
+            node,
+            body,
+        }
+    }
+
+    fn stream() -> Vec<OrderedEvent> {
+        let mut events = Vec::new();
+        let open = |sid: u32, access| EventBody::Open {
+            job: 1,
+            file: sid,
+            session: sid,
+            mode: 0,
+            access,
+            created: false,
+        };
+        // Session 1: RO, fully consecutive (3 reads).
+        events.push(ev(1, 0, open(1, AccessKind::Read)));
+        for k in 0..3u64 {
+            events.push(ev(
+                2 + k,
+                0,
+                EventBody::Read {
+                    session: 1,
+                    offset: k * 100,
+                    bytes: 100,
+                },
+            ));
+        }
+        // Session 2: RO, sequential but gapped (interleave-style).
+        events.push(ev(10, 0, open(2, AccessKind::Read)));
+        for k in 0..4u64 {
+            events.push(ev(
+                11 + k,
+                0,
+                EventBody::Read {
+                    session: 2,
+                    offset: k * 1000,
+                    bytes: 100,
+                },
+            ));
+        }
+        // Session 3: WO, one request only (excluded: no counted accesses).
+        events.push(ev(20, 0, open(3, AccessKind::Write)));
+        events.push(ev(
+            21,
+            0,
+            EventBody::Write {
+                session: 3,
+                offset: 0,
+                bytes: 4096,
+            },
+        ));
+        // Session 4: RW, random (0% sequential).
+        events.push(ev(30, 0, open(4, AccessKind::ReadWrite)));
+        for &off in &[5000u64, 100, 3000, 50] {
+            events.push(ev(
+                31 + off,
+                0,
+                EventBody::Write {
+                    session: 4,
+                    offset: off,
+                    bytes: 10,
+                },
+            ));
+            events.push(ev(
+                32 + off,
+                0,
+                EventBody::Read {
+                    session: 4,
+                    offset: off,
+                    bytes: 10,
+                },
+            ));
+        }
+        events
+    }
+
+    #[test]
+    fn sequential_percentages() {
+        let c = analyze(&stream());
+        assert_eq!(
+            session_percent(&c.sessions[&1], Metric::Sequential),
+            Some(100.0)
+        );
+        assert_eq!(
+            session_percent(&c.sessions[&1], Metric::Consecutive),
+            Some(100.0)
+        );
+        assert_eq!(
+            session_percent(&c.sessions[&2], Metric::Sequential),
+            Some(100.0)
+        );
+        assert_eq!(
+            session_percent(&c.sessions[&2], Metric::Consecutive),
+            Some(0.0)
+        );
+        assert_eq!(session_percent(&c.sessions[&3], Metric::Sequential), None);
+    }
+
+    #[test]
+    fn class_cdfs() {
+        let c = analyze(&stream());
+        let seq = cdfs(&c, Metric::Sequential);
+        assert_eq!(seq.read_only.total() as u64, 2);
+        assert_eq!(seq.write_only.total() as u64, 0, "one-request WO excluded");
+        assert!((seq.fully(SessionClass::ReadOnly) - 1.0).abs() < 1e-9);
+        let cons = cdfs(&c, Metric::Consecutive);
+        assert!((cons.fully(SessionClass::ReadOnly) - 0.5).abs() < 1e-9);
+        // The RW session is mostly non-sequential.
+        let rw = session_percent(&c.sessions[&4], Metric::Sequential).expect("counted");
+        assert!(rw < 60.0);
+    }
+}

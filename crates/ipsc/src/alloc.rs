@@ -1,0 +1,232 @@
+//! Subcube allocation of compute nodes.
+//!
+//! The iPSC allocates each job a *subcube*: a power-of-two-sized, aligned
+//! block of node addresses that itself forms a hypercube. This is the
+//! structural reason the paper's Figure 2 shows jobs using only 1, 2, 4, …,
+//! 128 nodes ("The iPSC limits the choice to powers of 2").
+//!
+//! We implement a classic buddy allocator over the `2^dim` node addresses:
+//! a free subcube of dimension `k+1` can be split into two buddies of
+//! dimension `k`, and two free buddies are re-merged on release.
+
+use std::collections::BTreeSet;
+
+/// An allocated subcube: nodes `base .. base + 2^dim`, with `base` aligned
+/// to `2^dim`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Subcube {
+    /// First node address in the subcube.
+    pub base: usize,
+    /// Dimension of the subcube; it holds `2^dim` nodes.
+    pub dim: u32,
+}
+
+impl Subcube {
+    /// Number of nodes in the subcube.
+    pub fn nodes(self) -> usize {
+        1usize << self.dim
+    }
+
+    /// Iterate over the node addresses of the subcube.
+    pub fn members(self) -> impl Iterator<Item = usize> {
+        self.base..self.base + (1usize << self.dim)
+    }
+
+    /// Whether a node address lies in this subcube.
+    pub fn contains(self, node: usize) -> bool {
+        node >= self.base && node < self.base + self.nodes()
+    }
+}
+
+/// Buddy allocator handing out aligned subcubes of a `2^dim`-node machine.
+#[derive(Clone, Debug)]
+pub struct SubcubeAllocator {
+    machine_dim: u32,
+    /// Free lists: `free[k]` holds the base addresses of free subcubes of
+    /// dimension `k`. `BTreeSet` gives deterministic lowest-address-first
+    /// allocation, like the real allocator's compaction preference.
+    free: Vec<BTreeSet<usize>>,
+    /// Live allocations, for double-free detection.
+    allocated: BTreeSet<(usize, u32)>,
+}
+
+impl SubcubeAllocator {
+    /// A fresh allocator for a machine of `2^machine_dim` compute nodes.
+    pub fn new(machine_dim: u32) -> Self {
+        let mut free: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); machine_dim as usize + 1];
+        free[machine_dim as usize].insert(0);
+        SubcubeAllocator {
+            machine_dim,
+            free,
+            allocated: BTreeSet::new(),
+        }
+    }
+
+    /// Total nodes in the machine.
+    pub fn machine_nodes(&self) -> usize {
+        1usize << self.machine_dim
+    }
+
+    /// Number of nodes currently free.
+    pub fn free_nodes(&self) -> usize {
+        self.free
+            .iter()
+            .enumerate()
+            .map(|(k, s)| s.len() << k)
+            .sum()
+    }
+
+    /// Allocate a subcube of `2^dim` nodes, or `None` if fragmentation or
+    /// load prevents it.
+    pub fn allocate(&mut self, dim: u32) -> Option<Subcube> {
+        if dim > self.machine_dim {
+            return None;
+        }
+        // Find the smallest free subcube of dimension >= dim.
+        let k = (dim..=self.machine_dim).find(|&k| !self.free[k as usize].is_empty())?;
+        let base = *self.free[k as usize].iter().next().expect("nonempty");
+        self.free[k as usize].remove(&base);
+        // Split down to the requested size, freeing the upper buddies.
+        for split in (dim..k).rev() {
+            self.free[split as usize].insert(base + (1usize << split));
+        }
+        self.allocated.insert((base, dim));
+        Some(Subcube { base, dim })
+    }
+
+    /// Allocate a subcube holding at least `n` nodes.
+    pub fn allocate_nodes(&mut self, n: usize) -> Option<Subcube> {
+        assert!(n > 0, "cannot allocate an empty subcube");
+        let dim = usize::BITS - (n - 1).leading_zeros();
+        let dim = if n == 1 { 0 } else { dim };
+        self.allocate(dim)
+    }
+
+    /// Release a previously allocated subcube, merging buddies.
+    ///
+    /// # Panics
+    /// Panics on double-free (the subcube, or a piece of it, is already
+    /// free).
+    pub fn release(&mut self, cube: Subcube) {
+        assert!(
+            cube.dim <= self.machine_dim && cube.base.is_multiple_of(cube.nodes()),
+            "released subcube {cube:?} is not a valid allocation"
+        );
+        assert!(
+            self.allocated.remove(&(cube.base, cube.dim)),
+            "double free of subcube base {} dim {}",
+            cube.base,
+            cube.dim
+        );
+        let mut base = cube.base;
+        let mut dim = cube.dim;
+        loop {
+            if dim == self.machine_dim {
+                break;
+            }
+            let buddy = base ^ (1usize << dim);
+            if self.free[dim as usize].remove(&buddy) {
+                base = base.min(buddy);
+                dim += 1;
+            } else {
+                break;
+            }
+        }
+        self.free[dim as usize].insert(base);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_machine_is_all_free() {
+        let a = SubcubeAllocator::new(7);
+        assert_eq!(a.free_nodes(), 128);
+        assert_eq!(a.machine_nodes(), 128);
+    }
+
+    #[test]
+    fn allocate_whole_machine() {
+        let mut a = SubcubeAllocator::new(3);
+        let c = a.allocate(3).unwrap();
+        assert_eq!(c, Subcube { base: 0, dim: 3 });
+        assert_eq!(a.free_nodes(), 0);
+        assert!(a.allocate(0).is_none());
+        a.release(c);
+        assert_eq!(a.free_nodes(), 8);
+    }
+
+    #[test]
+    fn allocations_are_aligned_and_disjoint() {
+        let mut a = SubcubeAllocator::new(7);
+        let mut used = [false; 128];
+        let mut cubes = Vec::new();
+        for dim in [0, 3, 5, 2, 0, 4, 1] {
+            let c = a.allocate(dim).unwrap();
+            assert_eq!(c.base % c.nodes(), 0, "aligned");
+            for n in c.members() {
+                assert!(!used[n], "node {n} double-allocated");
+                used[n] = true;
+            }
+            cubes.push(c);
+        }
+        let total: usize = cubes.iter().map(|c| c.nodes()).sum();
+        assert_eq!(a.free_nodes(), 128 - total);
+    }
+
+    #[test]
+    fn release_merges_buddies() {
+        let mut a = SubcubeAllocator::new(4);
+        let cubes: Vec<_> = (0..4).map(|_| a.allocate(2).unwrap()).collect();
+        assert_eq!(a.free_nodes(), 0);
+        for c in cubes {
+            a.release(c);
+        }
+        // Everything merged back: a 16-node allocation must succeed.
+        assert!(a.allocate(4).is_some());
+    }
+
+    #[test]
+    fn allocate_nodes_rounds_up_to_power_of_two() {
+        let mut a = SubcubeAllocator::new(7);
+        assert_eq!(a.allocate_nodes(1).unwrap().nodes(), 1);
+        assert_eq!(a.allocate_nodes(2).unwrap().nodes(), 2);
+        assert_eq!(a.allocate_nodes(3).unwrap().nodes(), 4);
+        // 100 rounds up to 128, but 7 nodes are already taken.
+        assert!(a.allocate_nodes(100).is_none());
+        let mut fresh = SubcubeAllocator::new(7);
+        assert_eq!(fresh.allocate_nodes(100).unwrap().nodes(), 128);
+    }
+
+    #[test]
+    fn fragmentation_can_deny_large_requests() {
+        let mut a = SubcubeAllocator::new(3);
+        let _c0 = a.allocate(0).unwrap(); // takes node 0
+        let _c1 = a.allocate(2).unwrap(); // takes 4..8
+        // Nodes 1, 2, 3 are free, but no aligned 4-node cube exists.
+        assert_eq!(a.free_nodes(), 3);
+        assert!(a.allocate(3).is_none());
+        assert!(a.allocate(2).is_none());
+        assert!(a.allocate(1).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_detected() {
+        let mut a = SubcubeAllocator::new(2);
+        let c = a.allocate(1).unwrap();
+        a.release(c);
+        a.release(c);
+    }
+
+    #[test]
+    fn member_iteration_matches_contains() {
+        let c = Subcube { base: 8, dim: 2 };
+        let members: Vec<_> = c.members().collect();
+        assert_eq!(members, vec![8, 9, 10, 11]);
+        assert!(c.contains(8) && c.contains(11));
+        assert!(!c.contains(7) && !c.contains(12));
+    }
+}

@@ -1,0 +1,271 @@
+//! Machine configuration: the NAS iPSC/860.
+//!
+//! "Their iPSC has 128 compute nodes, each with 8 MB of memory, and 10 I/O
+//! nodes, each with 4 MB of memory and a single 760 MB disk drive. There is
+//! also a single service node that handles a 10-Mbit Ethernet connection to
+//! the host computer. The total I/O capacity is 7.6 GB and the total
+//! bandwidth is less than 10 MB/s." (paper §3)
+
+use rand::Rng;
+
+use crate::alloc::SubcubeAllocator;
+use crate::clock::DriftClock;
+use crate::message::{Message, NetworkModel};
+use crate::time::Duration;
+use crate::topology::Hypercube;
+
+/// Address of a compute node (an address within the hypercube).
+pub type NodeId = usize;
+
+/// Index of an I/O node (0-based; I/O nodes are *not* hypercube members —
+/// each hangs off one compute node).
+pub type IoNodeId = usize;
+
+/// Static description of an iPSC/860 installation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MachineConfig {
+    /// Hypercube dimension; `2^dim` compute nodes.
+    pub cube_dim: u32,
+    /// Number of I/O nodes, each with one disk.
+    pub io_nodes: usize,
+    /// Compute-node memory, bytes (8 MB at NAS).
+    pub compute_mem_bytes: u64,
+    /// I/O-node memory, bytes (4 MB at NAS).
+    pub io_mem_bytes: u64,
+    /// Per-disk capacity, bytes (760 MB at NAS).
+    pub disk_capacity_bytes: u64,
+    /// Network latency model.
+    pub network: NetworkModel,
+    /// Maximum clock drift magnitude assigned to a node, ppm.
+    pub max_clock_drift_ppm: f64,
+    /// Maximum boot-time clock offset magnitude, µs.
+    pub max_clock_offset_us: f64,
+}
+
+impl MachineConfig {
+    /// The NASA Ames NAS configuration traced by the paper.
+    pub fn nas_ipsc860() -> Self {
+        MachineConfig {
+            cube_dim: 7,
+            io_nodes: 10,
+            compute_mem_bytes: 8 << 20,
+            io_mem_bytes: 4 << 20,
+            disk_capacity_bytes: 760 << 20,
+            network: NetworkModel::default(),
+            max_clock_drift_ppm: 80.0,
+            max_clock_offset_us: 5_000.0,
+        }
+    }
+
+    /// A scaled-down machine for unit and integration tests: 8 compute
+    /// nodes, 2 I/O nodes, small disks.
+    pub fn tiny() -> Self {
+        MachineConfig {
+            cube_dim: 3,
+            io_nodes: 2,
+            compute_mem_bytes: 1 << 20,
+            io_mem_bytes: 1 << 20,
+            disk_capacity_bytes: 8 << 20,
+            network: NetworkModel::default(),
+            max_clock_drift_ppm: 80.0,
+            max_clock_offset_us: 5_000.0,
+        }
+    }
+
+    /// Number of compute nodes.
+    pub fn compute_nodes(&self) -> usize {
+        1usize << self.cube_dim
+    }
+}
+
+/// A live machine instance: topology, allocator, and per-node clocks.
+#[derive(Clone, Debug)]
+pub struct Machine {
+    config: MachineConfig,
+    cube: Hypercube,
+    allocator: SubcubeAllocator,
+    /// Clock of each compute node, indexed by `NodeId`.
+    clocks: Vec<DriftClock>,
+    /// Clock of the service node (the trace collector's reference clock).
+    service_clock: DriftClock,
+}
+
+impl Machine {
+    /// Boot a machine, drawing per-node clock drifts and offsets from `rng`.
+    pub fn boot<R: Rng>(config: MachineConfig, rng: &mut R) -> Self {
+        let cube = Hypercube::new(config.cube_dim);
+        let clocks = (0..config.compute_nodes())
+            .map(|_| {
+                DriftClock::new(
+                    rng.gen_range(-config.max_clock_drift_ppm..=config.max_clock_drift_ppm),
+                    rng.gen_range(-config.max_clock_offset_us..=config.max_clock_offset_us),
+                )
+            })
+            .collect();
+        let allocator = SubcubeAllocator::new(config.cube_dim);
+        Machine {
+            cube,
+            allocator,
+            clocks,
+            // The collector's clock is the reference frame the paper's
+            // postprocessing corrects *to*; give it a small offset too.
+            service_clock: DriftClock::PERFECT,
+            config,
+        }
+    }
+
+    /// Boot with perfectly synchronized clocks (useful in tests that don't
+    /// exercise drift correction).
+    pub fn boot_synchronized(config: MachineConfig) -> Self {
+        let cube = Hypercube::new(config.cube_dim);
+        let clocks = vec![DriftClock::PERFECT; config.compute_nodes()];
+        let allocator = SubcubeAllocator::new(config.cube_dim);
+        Machine {
+            cube,
+            allocator,
+            clocks,
+            service_clock: DriftClock::PERFECT,
+            config,
+        }
+    }
+
+    /// The static configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// The hypercube interconnect.
+    pub fn cube(&self) -> Hypercube {
+        self.cube
+    }
+
+    /// The subcube allocator (jobs allocate and release through this).
+    pub fn allocator_mut(&mut self) -> &mut SubcubeAllocator {
+        &mut self.allocator
+    }
+
+    /// The clock of compute node `node`.
+    pub fn clock(&self, node: NodeId) -> &DriftClock {
+        &self.clocks[node]
+    }
+
+    /// The service node's (collector's) clock.
+    pub fn service_clock(&self) -> &DriftClock {
+        &self.service_clock
+    }
+
+    /// The compute node that I/O node `io` hangs off.
+    ///
+    /// On the NAS machine each I/O node was "connected to a single compute
+    /// node rather than directly to the hypercube interconnect". We spread
+    /// the attachment points evenly across the cube.
+    pub fn io_attachment(&self, io: IoNodeId) -> NodeId {
+        assert!(io < self.config.io_nodes, "I/O node {io} out of range");
+        io * self.config.compute_nodes() / self.config.io_nodes
+    }
+
+    /// Network hops from compute node `src` to I/O node `io`: the e-cube
+    /// route to the attachment node plus the dedicated final link.
+    pub fn hops_to_io(&self, src: NodeId, io: IoNodeId) -> u32 {
+        self.cube.distance(src, self.io_attachment(io)) + 1
+    }
+
+    /// Latency of a `bytes`-byte message from compute node `src` to I/O
+    /// node `io` (or the reverse — the model is symmetric).
+    pub fn io_message_latency(&self, src: NodeId, io: IoNodeId, bytes: u64) -> Duration {
+        let msg = Message {
+            src,
+            dst: self.io_attachment(io),
+            bytes,
+        };
+        self.config.network.latency(&msg, self.hops_to_io(src, io))
+    }
+
+    /// Latency of a compute-node-to-service-node message (trace flushes).
+    pub fn service_message_latency(&self, src: NodeId, bytes: u64) -> Duration {
+        // The service node also hangs off a compute node; use address 0.
+        let msg = Message { src, dst: 0, bytes };
+        self.config.network.latency(&msg, self.cube.distance(src, 0) + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn nas_config_matches_paper() {
+        let c = MachineConfig::nas_ipsc860();
+        assert_eq!(c.compute_nodes(), 128);
+        assert_eq!(c.io_nodes, 10);
+        assert_eq!(c.compute_mem_bytes, 8 << 20);
+        assert_eq!(c.io_mem_bytes, 4 << 20);
+        // Total capacity 7.6 GB, per paper.
+        let total = c.disk_capacity_bytes * c.io_nodes as u64;
+        assert_eq!(total, 7600 << 20);
+    }
+
+    #[test]
+    fn boot_assigns_distinct_clocks() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = Machine::boot(MachineConfig::nas_ipsc860(), &mut rng);
+        let drifts: Vec<_> = (0..128).map(|n| m.clock(n).drift_ppm).collect();
+        let distinct = drifts
+            .iter()
+            .filter(|&&d| (d - drifts[0]).abs() > 1e-9)
+            .count();
+        assert!(distinct > 100, "clocks must drift differently");
+        for d in drifts {
+            assert!(d.abs() <= 80.0);
+        }
+    }
+
+    #[test]
+    fn boot_is_deterministic_per_seed() {
+        let m1 = Machine::boot(MachineConfig::tiny(), &mut StdRng::seed_from_u64(7));
+        let m2 = Machine::boot(MachineConfig::tiny(), &mut StdRng::seed_from_u64(7));
+        for n in 0..8 {
+            assert_eq!(m1.clock(n), m2.clock(n));
+        }
+    }
+
+    #[test]
+    fn io_attachments_are_spread_and_valid() {
+        let m = Machine::boot_synchronized(MachineConfig::nas_ipsc860());
+        let mut seen = std::collections::HashSet::new();
+        for io in 0..10 {
+            let at = m.io_attachment(io);
+            assert!(m.cube().contains(at));
+            assert!(seen.insert(at), "attachment points must be distinct");
+        }
+    }
+
+    #[test]
+    fn io_hops_include_final_link() {
+        let m = Machine::boot_synchronized(MachineConfig::nas_ipsc860());
+        let at = m.io_attachment(3);
+        assert_eq!(m.hops_to_io(at, 3), 1, "attached node is one hop away");
+        assert!(m.hops_to_io(at ^ 1, 3) == 2);
+    }
+
+    #[test]
+    fn message_latency_positive_and_monotone() {
+        let m = Machine::boot_synchronized(MachineConfig::nas_ipsc860());
+        let small = m.io_message_latency(5, 0, 512);
+        let large = m.io_message_latency(5, 0, 1 << 20);
+        assert!(small.as_micros() > 0);
+        assert!(large > small);
+        assert!(m.service_message_latency(5, 4096).as_micros() > 0);
+    }
+
+    #[test]
+    fn allocator_is_usable_through_machine() {
+        let mut m = Machine::boot_synchronized(MachineConfig::tiny());
+        let cube = m.allocator_mut().allocate_nodes(4).unwrap();
+        assert_eq!(cube.nodes(), 4);
+        m.allocator_mut().release(cube);
+        assert_eq!(m.allocator_mut().free_nodes(), 8);
+    }
+}

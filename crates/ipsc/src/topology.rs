@@ -1,0 +1,166 @@
+//! The hypercube interconnect.
+//!
+//! iPSC/860 compute nodes are connected as a binary d-cube: node addresses
+//! are d-bit strings and two nodes are neighbors iff their addresses differ
+//! in exactly one bit. Messages are routed with the deterministic *e-cube*
+//! algorithm: correct the differing address bits in ascending dimension
+//! order. The NAS machine had 128 compute nodes (d = 7).
+
+/// A binary hypercube of dimension `dim` with `2^dim` nodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Hypercube {
+    dim: u32,
+}
+
+impl Hypercube {
+    /// Create a hypercube of the given dimension (max 30).
+    ///
+    /// # Panics
+    /// Panics if `dim > 30`.
+    pub fn new(dim: u32) -> Self {
+        assert!(dim <= 30, "hypercube dimension {dim} is unreasonably large");
+        Hypercube { dim }
+    }
+
+    /// The smallest hypercube holding at least `n` nodes.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn with_at_least(n: usize) -> Self {
+        assert!(n > 0, "cannot build an empty hypercube");
+        Hypercube::new((n - 1).max(1).ilog2() + u32::from(n > 1))
+    }
+
+    /// The cube dimension.
+    pub fn dim(self) -> u32 {
+        self.dim
+    }
+
+    /// Number of nodes, `2^dim`.
+    pub fn nodes(self) -> usize {
+        1usize << self.dim
+    }
+
+    /// Whether `node` is a valid address in this cube.
+    pub fn contains(self, node: usize) -> bool {
+        node < self.nodes()
+    }
+
+    /// The neighbor of `node` across dimension `d`.
+    ///
+    /// # Panics
+    /// Panics if `node` or `d` is out of range.
+    pub fn neighbor(self, node: usize, d: u32) -> usize {
+        assert!(self.contains(node), "node {node} outside cube");
+        assert!(d < self.dim, "dimension {d} outside cube");
+        node ^ (1 << d)
+    }
+
+    /// All neighbors of `node`, in ascending dimension order.
+    pub fn neighbors(self, node: usize) -> impl Iterator<Item = usize> {
+        assert!(self.contains(node), "node {node} outside cube");
+        (0..self.dim).map(move |d| node ^ (1 << d))
+    }
+
+    /// Hop distance between two nodes (Hamming distance of the addresses).
+    pub fn distance(self, a: usize, b: usize) -> u32 {
+        assert!(self.contains(a) && self.contains(b), "node outside cube");
+        ((a ^ b) as u32).count_ones()
+    }
+
+    /// The e-cube route from `src` to `dst`, inclusive of both endpoints.
+    ///
+    /// Dimensions are corrected in ascending order, so the route is unique
+    /// and deterministic — as on the real machine's wormhole router.
+    pub fn ecube_route(self, src: usize, dst: usize) -> Vec<usize> {
+        assert!(self.contains(src) && self.contains(dst), "node outside cube");
+        let mut route = Vec::with_capacity(self.distance(src, dst) as usize + 1);
+        let mut cur = src;
+        route.push(cur);
+        let diff = src ^ dst;
+        for d in 0..self.dim {
+            if diff & (1 << d) != 0 {
+                cur ^= 1 << d;
+                route.push(cur);
+            }
+        }
+        route
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(Hypercube::new(0).nodes(), 1);
+        assert_eq!(Hypercube::new(7).nodes(), 128);
+    }
+
+    #[test]
+    fn with_at_least_rounds_up() {
+        assert_eq!(Hypercube::with_at_least(1).dim(), 0);
+        assert_eq!(Hypercube::with_at_least(2).dim(), 1);
+        assert_eq!(Hypercube::with_at_least(3).dim(), 2);
+        assert_eq!(Hypercube::with_at_least(128).dim(), 7);
+        assert_eq!(Hypercube::with_at_least(129).dim(), 8);
+    }
+
+    #[test]
+    fn neighbor_is_involution() {
+        let h = Hypercube::new(5);
+        for node in 0..h.nodes() {
+            for d in 0..h.dim() {
+                let n = h.neighbor(node, d);
+                assert_eq!(h.neighbor(n, d), node);
+                assert_eq!(h.distance(node, n), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn neighbors_count() {
+        let h = Hypercube::new(7);
+        assert_eq!(h.neighbors(0).count(), 7);
+        assert_eq!(h.neighbors(93).count(), 7);
+    }
+
+    #[test]
+    fn distance_is_metric() {
+        let h = Hypercube::new(6);
+        for &(a, b, c) in &[(0, 63, 21), (5, 5, 9), (1, 2, 3)] {
+            assert_eq!(h.distance(a, b), h.distance(b, a));
+            assert!(h.distance(a, c) <= h.distance(a, b) + h.distance(b, c));
+        }
+        assert_eq!(h.distance(9, 9), 0);
+        assert_eq!(h.distance(0, 63), 6);
+    }
+
+    #[test]
+    fn ecube_route_properties() {
+        let h = Hypercube::new(7);
+        for &(src, dst) in &[(0, 127), (5, 5), (3, 96), (127, 0), (64, 65)] {
+            let route = h.ecube_route(src, dst);
+            assert_eq!(*route.first().unwrap(), src);
+            assert_eq!(*route.last().unwrap(), dst);
+            assert_eq!(route.len() as u32, h.distance(src, dst) + 1);
+            for pair in route.windows(2) {
+                assert_eq!(h.distance(pair[0], pair[1]), 1, "hops are edges");
+            }
+        }
+    }
+
+    #[test]
+    fn ecube_route_is_deterministic_ascending() {
+        let h = Hypercube::new(3);
+        // 000 -> 111 must fix bit 0, then 1, then 2.
+        assert_eq!(h.ecube_route(0, 7), vec![0, 1, 3, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside cube")]
+    fn rejects_foreign_nodes() {
+        Hypercube::new(2).distance(0, 4);
+    }
+}

@@ -1,0 +1,1061 @@
+//! Application templates.
+//!
+//! Each traced job class compiles into per-node [`Program`]s plus a table
+//! of the files the job touches. The shapes are chosen so the *population*
+//! of generated sessions reproduces the paper's per-file statistics; the
+//! comments on each template say which figure/table it feeds.
+
+use charisma_cfs::{Access, IoMode};
+use charisma_ipsc::Duration;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+use crate::mix::{JobClass, JobPlan};
+use crate::params;
+use crate::program::{FileSlot, Op, Program};
+
+/// Where a job file comes from.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FileOrigin {
+    /// One of the pre-seeded shared dataset files (inputs). The generator
+    /// picks a concrete file per job and guarantees no two jobs hold the
+    /// same dataset concurrently (the paper saw *no* concurrent inter-job
+    /// sharing).
+    SharedDataset,
+    /// A file staged for this job before it starts (per-node input
+    /// partitions). Created untraced — like data staged over the Ethernet.
+    Staged {
+        /// Size to stage, bytes.
+        size: u64,
+    },
+    /// A file the job itself creates.
+    Fresh,
+}
+
+/// One file in a job's file table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FileSpec {
+    /// Origin (dataset / staged / fresh).
+    pub origin: FileOrigin,
+    /// Name stem, used to build the path.
+    pub hint: &'static str,
+}
+
+/// A compiled job: its file table and one program per node.
+#[derive(Clone, Debug)]
+pub struct JobBuild {
+    /// Files, indexed by [`FileSlot`].
+    pub files: Vec<FileSpec>,
+    /// One program per compute node of the job.
+    pub programs: Vec<Program>,
+}
+
+/// Declare the file table of a job (phase 1: the generator resolves
+/// dataset/staged sizes before programs are built).
+pub fn file_table(plan: &JobPlan) -> Vec<FileSpec> {
+    let mut rng = StdRng::seed_from_u64(plan.seed ^ 0x5eed_0001);
+    let p = plan.nodes as usize;
+    let mut files = Vec::new();
+    let fresh = |files: &mut Vec<FileSpec>, hint, n| {
+        for _ in 0..n {
+            files.push(FileSpec {
+                origin: FileOrigin::Fresh,
+                hint,
+            });
+        }
+    };
+    match plan.class {
+        JobClass::StatusChecker | JobClass::UntracedSingle | JobClass::UntracedMulti => {}
+        JobClass::StatusReader => files.push(FileSpec {
+            origin: FileOrigin::SharedDataset,
+            hint: "status",
+        }),
+        JobClass::Copier => {
+            files.push(FileSpec {
+                origin: FileOrigin::SharedDataset,
+                hint: "src",
+            });
+            fresh(&mut files, "dst", 1);
+        }
+        JobClass::PostProcessor => {
+            files.push(FileSpec {
+                origin: FileOrigin::SharedDataset,
+                hint: "run_a",
+            });
+            files.push(FileSpec {
+                origin: FileOrigin::SharedDataset,
+                hint: "run_b",
+            });
+            fresh(&mut files, "summary", 1);
+        }
+        JobClass::SmallCfd => {
+            files.push(FileSpec {
+                origin: FileOrigin::SharedDataset,
+                hint: "params",
+            });
+            files.push(FileSpec {
+                origin: FileOrigin::SharedDataset,
+                hint: "grid",
+            });
+            fresh(&mut files, "flow_out", 1); // shared, mode-1
+            fresh(&mut files, "status", 1); // read-write
+        }
+        JobClass::CfdPerNode => {
+            let phases = rng.gen_range(params::CFD_PHASES);
+            // slot 0: broadcast parameter file; slot 1: interleaved grid.
+            files.push(FileSpec {
+                origin: FileOrigin::SharedDataset,
+                hint: "params",
+            });
+            files.push(FileSpec {
+                origin: FileOrigin::SharedDataset,
+                hint: "grid",
+            });
+            // slot 2: per-job status file (read-write).
+            fresh(&mut files, "status", 1);
+            // Per-node staged input partitions for most jobs.
+            if rng.gen_bool(0.95) {
+                for _ in 0..p {
+                    let size = params::draw_mix(&params::INPUT_SIZE_MIX, &mut rng) / 2;
+                    files.push(FileSpec {
+                        origin: FileOrigin::Staged {
+                            size: size.max(8192),
+                        },
+                        hint: "part_in",
+                    });
+                }
+            }
+            // Unaccessed per-node log opens for 20 % of jobs (§4.2's ~2500
+            // opened-but-unaccessed files).
+            if rng.gen_bool(0.4) {
+                fresh(&mut files, "log", p);
+            }
+            // Per-phase, per-node outputs.
+            fresh(&mut files, "soln", p * phases as usize);
+        }
+        JobClass::OutOfCore => {
+            fresh(&mut files, "scratch", params::out_of_core::FILES);
+        }
+        JobClass::Checkpointer => {
+            files.push(FileSpec {
+                origin: FileOrigin::SharedDataset,
+                hint: "params",
+            });
+            fresh(&mut files, "ckpt", p * 5);
+        }
+    }
+    files
+}
+
+/// Compile a job's per-node programs (phase 2). `sizes[slot]` is the
+/// resolved size of each dataset/staged file (0 for fresh files).
+pub fn build_programs(plan: &JobPlan, sizes: &[u64]) -> Vec<Program> {
+    let mut rng = StdRng::seed_from_u64(plan.seed ^ 0x5eed_0002);
+    let p = plan.nodes as usize;
+    let mut progs = vec![Program::new(); p];
+    let mut b = Builder {
+        rng: &mut rng,
+        progs: &mut progs,
+        barrier: 0,
+    };
+    match plan.class {
+        JobClass::StatusChecker | JobClass::UntracedSingle | JobClass::UntracedMulti => {}
+        JobClass::StatusReader => b.status_reader(),
+        JobClass::Copier => b.copier(),
+        JobClass::PostProcessor => b.post_processor(sizes),
+        JobClass::SmallCfd => b.small_cfd(),
+        JobClass::CfdPerNode => b.cfd_per_node(plan, sizes),
+        JobClass::OutOfCore => b.out_of_core(),
+        JobClass::Checkpointer => b.checkpointer(),
+    }
+    progs
+}
+
+/// Convenience: file table + programs in one call (used by tests; the
+/// generator calls the two phases separately).
+pub fn build(plan: &JobPlan, sizes: &[u64]) -> JobBuild {
+    JobBuild {
+        files: file_table(plan),
+        programs: build_programs(plan, sizes),
+    }
+}
+
+struct Builder<'a> {
+    rng: &'a mut StdRng,
+    progs: &'a mut Vec<Program>,
+    barrier: u32,
+}
+
+impl Builder<'_> {
+    fn nodes(&self) -> usize {
+        self.progs.len()
+    }
+
+    fn think(&mut self) -> Op {
+        let us = params::INTER_REQUEST_COMPUTE_US;
+        Op::Compute(Duration::from_micros(self.rng.gen_range(us / 2..us * 2)))
+    }
+
+    fn phase_compute(&mut self, mean: Duration) -> Op {
+        let m = mean.as_micros();
+        Op::Compute(Duration::from_micros(self.rng.gen_range(m / 2..m * 2)))
+    }
+
+    /// Per-node compute with independent jitter: nodes of a job drift
+    /// apart, so their interleaved requests arrive at the I/O nodes spread
+    /// out in time — the reuse-distance structure behind Figure 9's
+    /// capacity knee.
+    fn phase_compute_all(&mut self, mean: Duration) {
+        let m = mean.as_micros();
+        for i in 0..self.progs.len() {
+            let d = Duration::from_micros(self.rng.gen_range(m / 2..m * 2));
+            self.progs[i].push(Op::Compute(d));
+        }
+    }
+
+    fn barrier_all(&mut self) {
+        let id = self.barrier;
+        self.barrier += 1;
+        for prog in self.progs.iter_mut() {
+            prog.push(Op::Barrier(id));
+        }
+    }
+
+    /// Every node reads the whole file in one large request (B1 broadcast:
+    /// Table 2 row 0, Figure 7's fully-byte-shared files).
+    ///
+    /// A barrier precedes the opens so every node attaches to one session
+    /// (a parallel open); a per-node stagger after the open spreads the
+    /// actual reads out in time, as the nodes' unequal progress did on the
+    /// real machine.
+    fn broadcast_one_shot(&mut self, slot: FileSlot) {
+        self.barrier_all();
+        for n in 0..self.nodes() {
+            let stagger = self.stagger();
+            let prog = &mut self.progs[n];
+            prog.push(Op::Open {
+                slot,
+                access: Access::Read,
+                mode: IoMode::Independent,
+                truncate: false,
+            });
+            prog.push(stagger);
+            prog.push(Op::Read {
+                slot,
+                bytes: 1 << 20,
+            });
+            prog.push(Op::Close { slot });
+        }
+    }
+
+    /// Per-node start-of-read stagger (seconds-scale drift between nodes).
+    fn stagger(&mut self) -> Op {
+        Op::Compute(Duration::from_micros(self.rng.gen_range(0..40_000_000)))
+    }
+
+    /// A partitioned one-shot read: every node reads its contiguous share
+    /// of the file in a single request; the last node's share carries the
+    /// remainder (a second request size — Table 3's two-size row among
+    /// one-request-per-node files).
+    fn partitioned_read(&mut self, slot: FileSlot, size: u64) {
+        self.barrier_all();
+        let p = self.nodes() as u64;
+        let share = (size / p).max(1024);
+        for n in 0..self.nodes() {
+            let stagger = self.stagger();
+            let bytes = if n as u64 == p - 1 {
+                (size - share * (p - 1)).min(u32::MAX as u64) as u32
+            } else {
+                share as u32
+            };
+            let prog = &mut self.progs[n];
+            prog.push(Op::Open {
+                slot,
+                access: Access::Read,
+                mode: IoMode::Independent,
+                truncate: false,
+            });
+            prog.push(Op::Seek {
+                slot,
+                offset: n as u64 * share,
+            });
+            prog.push(stagger);
+            prog.push(Op::Read { slot, bytes });
+            prog.push(Op::Close { slot });
+        }
+    }
+
+    /// Every node reads `total` bytes of the file consecutively in
+    /// `record`-byte requests (B2 broadcast: the high compute-cache-hit
+    /// clump of Figure 8; heavy interprocess locality for Figure 9).
+    fn broadcast_records(&mut self, slot: FileSlot, total: u64, record: u32, reread: bool) {
+        self.barrier_all();
+        for n in 0..self.nodes() {
+            let stagger = self.stagger();
+            self.progs[n].push(Op::Open {
+                slot,
+                access: Access::Read,
+                mode: IoMode::Independent,
+                truncate: false,
+            });
+            self.progs[n].push(stagger);
+            let passes = if reread { 2 } else { 1 };
+            for pass in 0..passes {
+                if pass > 0 {
+                    self.progs[n].push(Op::Seek { slot, offset: 0 });
+                }
+                let mut done = 0u64;
+                while done < total {
+                    let bytes = record.min((total - done) as u32);
+                    let think = self.think();
+                    let prog = &mut self.progs[n];
+                    prog.push(think);
+                    prog.push(Op::Read { slot, bytes });
+                    done += u64::from(bytes);
+                }
+            }
+            self.progs[n].push(Op::Close { slot });
+        }
+    }
+
+    /// 2-D interleaved read (the CHARISMA signature pattern): the file is
+    /// rows of `nodes * chunk` bytes; node `i` owns the `i`-th chunk of
+    /// every row and reads it in `pieces` consecutive sub-requests.
+    /// Per node: `pieces == 1` gives one nonzero interval size (Table 2
+    /// row 1's non-consecutive sliver); `pieces > 1` gives two interval
+    /// sizes (row 2). Chunks smaller than a block make several nodes share
+    /// each block — the interprocess spatial locality of §4.7/§4.8.
+    fn interleave_2d(&mut self, slot: FileSlot, file_size: u64, chunk: u32, pieces: u32) {
+        self.barrier_all();
+        let p = self.nodes() as u64;
+        let row = p * u64::from(chunk);
+        let rows = (file_size / row).clamp(2, 64);
+        let piece = chunk / pieces;
+        for n in 0..self.nodes() {
+            let stagger = self.stagger();
+            self.progs[n].push(Op::Open {
+                slot,
+                access: Access::Read,
+                mode: IoMode::Independent,
+                truncate: false,
+            });
+            self.progs[n].push(stagger);
+            for r in 0..rows {
+                let base = r * row + n as u64 * u64::from(chunk);
+                self.progs[n].push(Op::Seek { slot, offset: base });
+                for _ in 0..pieces {
+                    let think = self.think();
+                    let prog = &mut self.progs[n];
+                    prog.push(think);
+                    prog.push(Op::Read { slot, bytes: piece });
+                }
+            }
+            self.progs[n].push(Op::Close { slot });
+        }
+    }
+
+    /// One node writes a whole output file. Styles (params-tuned):
+    /// one-shot single request (Table 2 row 0), consecutive records with a
+    /// partial tail (Tables 2-3 rows 1-2), or records plus a seek-back
+    /// header patch (Figure 5's non-sequential write-only sliver).
+    fn write_output(&mut self, node: usize, slot: FileSlot) {
+        let size = params::draw_mix(&params::OUTPUT_SIZE_MIX, self.rng);
+        let style = self.rng.gen::<f64>();
+        self.progs[node].push(Op::Open {
+            slot,
+            access: Access::Write,
+            mode: IoMode::Independent,
+            truncate: false,
+        });
+        if style < params::ONE_SHOT_OUTPUT_FRACTION {
+            // One-shot: the whole file in one request.
+            let think = self.think();
+            let prog = &mut self.progs[node];
+            prog.push(think);
+            prog.push(Op::Write {
+                slot,
+                bytes: size.min(8 << 20) as u32,
+            });
+        } else {
+            // Record-structured. Files of 1 MB and up are bulk dumps with
+            // 64 KB records (they carry most of the bytes — Figure 4);
+            // smaller files use the small-record palette.
+            let record = if size >= 1_000_000 {
+                65_536
+            } else {
+                params::draw_mix(&params::WRITE_RECORD_MIX, self.rng)
+            };
+            // A partial final record gives the file two request sizes
+            // (Table 3's 51.4 % two-size row).
+            let total = if self.rng.gen_bool(params::PARTIAL_TAIL_FRACTION) {
+                size - u64::from(record) / 3
+            } else {
+                size - size % u64::from(record)
+            };
+            let mut done = 0u64;
+            while done < total {
+                let bytes = record.min((total - done) as u32);
+                let think = self.think();
+                let prog = &mut self.progs[node];
+                prog.push(think);
+                prog.push(Op::Write { slot, bytes });
+                done += u64::from(bytes);
+            }
+            if style > 1.0 - params::HEADER_PATCH_FRACTION {
+                // Seek back and patch a header: breaks 100 % sequentiality.
+                self.progs[node].push(Op::Seek { slot, offset: 0 });
+                self.progs[node].push(Op::Write { slot, bytes: 256 });
+            }
+        }
+        self.progs[node].push(Op::Close { slot });
+    }
+
+    /// Node 0 keeps a read-write status file: read it, then rewrite it
+    /// (the small read-write population of §4.2 outside the out-of-core
+    /// job).
+    fn status_file(&mut self, slot: FileSlot) {
+        let think = self.think();
+        let prog = &mut self.progs[0];
+        prog.push(Op::Open {
+            slot,
+            access: Access::ReadWrite,
+            mode: IoMode::Independent,
+            truncate: false,
+        });
+        prog.push(Op::Write { slot, bytes: 1024 });
+        prog.push(Op::Seek { slot, offset: 0 });
+        prog.push(think);
+        prog.push(Op::Read { slot, bytes: 1024 });
+        prog.push(Op::Seek { slot, offset: 0 });
+        prog.push(Op::Write { slot, bytes: 900 });
+        prog.push(Op::Close { slot });
+    }
+
+    /// A job-shared read-write metadata file: node 0 seeds it, every node
+    /// reads all of it, then every node writes — either the whole file
+    /// (fully byte-shared) or its private 64-byte slot (block-shared
+    /// only). This is Figure 7's read-write population: about half the
+    /// files 100 % byte-shared, nearly all 100 % block-shared.
+    fn shared_meta_file(&mut self, slot: FileSlot, full_write: bool) {
+        let size = 2048u32;
+        let barrier = self.barrier;
+        self.barrier += 1;
+        for n in 0..self.nodes() {
+            let think = self.think();
+            let prog = &mut self.progs[n];
+            prog.push(Op::Open {
+                slot,
+                access: Access::ReadWrite,
+                mode: IoMode::Independent,
+                truncate: false,
+            });
+            if n == 0 {
+                prog.push(Op::Write { slot, bytes: size });
+                prog.push(Op::Seek { slot, offset: 0 });
+            }
+            prog.push(Op::Barrier(barrier));
+            prog.push(think);
+            if full_write {
+                // Everyone reads and rewrites the whole file: 100 %
+                // byte-shared.
+                prog.push(Op::Read { slot, bytes: size });
+                prog.push(Op::Seek { slot, offset: 0 });
+                prog.push(Op::Write { slot, bytes: size });
+            } else {
+                // Everyone reads the shared header, then updates a private
+                // slot: blocks fully shared, bytes only partly.
+                prog.push(Op::Read { slot, bytes: 512 });
+                prog.push(Op::Seek {
+                    slot,
+                    offset: 512 + n as u64 * 64,
+                });
+                prog.push(Op::Write { slot, bytes: 64 });
+            }
+            prog.push(Op::Close { slot });
+        }
+    }
+
+    // -- templates ----------------------------------------------------------
+
+    fn status_reader(&mut self) {
+        self.phase_compute_all(Duration::from_secs(15));
+        self.broadcast_one_shot(0);
+    }
+
+    fn copier(&mut self) {
+        let record = params::draw_mix(&params::READ_RECORD_MIX, self.rng).min(1024);
+        let total = 24_000u64;
+        self.progs[0].push(Op::Open {
+            slot: 0,
+            access: Access::Read,
+            mode: IoMode::Independent,
+            truncate: false,
+        });
+        self.progs[0].push(Op::Open {
+            slot: 1,
+            access: Access::Write,
+            mode: IoMode::Independent,
+            truncate: false,
+        });
+        let mut done = 0u64;
+        while done < total {
+            let think = self.think();
+            let prog = &mut self.progs[0];
+            prog.push(think);
+            prog.push(Op::Read {
+                slot: 0,
+                bytes: record,
+            });
+            prog.push(Op::Write {
+                slot: 1,
+                bytes: record,
+            });
+            done += u64::from(record);
+        }
+        self.progs[0].push(Op::Close { slot: 0 });
+        self.progs[0].push(Op::Close { slot: 1 });
+    }
+
+    fn post_processor(&mut self, sizes: &[u64]) {
+        let c = self.phase_compute(Duration::from_secs(60));
+        self.progs[0].push(c);
+        for slot in 0..2u16 {
+            // Block-sized reads: the Figure 4 peak at 4 KB.
+            let blocks = (sizes[slot as usize] / 4096).clamp(4, 64);
+            self.progs[0].push(Op::Open {
+                slot,
+                access: Access::Read,
+                mode: IoMode::Independent,
+                truncate: false,
+            });
+            for _ in 0..blocks {
+                let think = self.think();
+                let prog = &mut self.progs[0];
+                prog.push(think);
+                prog.push(Op::Read { slot, bytes: 4096 });
+            }
+            self.progs[0].push(Op::Close { slot });
+        }
+        // Summary: small consecutive writes.
+        self.progs[0].push(Op::Open {
+            slot: 2,
+            access: Access::Write,
+            mode: IoMode::Independent,
+            truncate: false,
+        });
+        for _ in 0..20 {
+            let think = self.think();
+            let prog = &mut self.progs[0];
+            prog.push(think);
+            prog.push(Op::Write {
+                slot: 2,
+                bytes: 512,
+            });
+        }
+        self.progs[0].push(Op::Write { slot: 2, bytes: 300 });
+        self.progs[0].push(Op::Close { slot: 2 });
+    }
+
+    fn small_cfd(&mut self) {
+        self.phase_compute_all(Duration::from_secs(45));
+        // Parameter broadcast, then the grid: usually every node reads the
+        // whole grid in small records; some runs read partitioned
+        // one-shot shares instead.
+        self.broadcast_one_shot(0);
+        if self.rng.gen_bool(0.15) {
+            self.partitioned_read(1, 200_000);
+        } else {
+            let record = *[256u32, 512, 1024]
+                .get(self.rng.gen_range(0..3))
+                .expect("palette");
+            let reread = self.rng.gen_bool(0.10);
+            self.broadcast_records(1, 24_000, record, reread);
+        }
+        self.barrier_all();
+        // Shared output: usually mode 1 (every node appends through the
+        // shared pointer — the <1 % of files not in mode 0, §4.6); some
+        // runs instead use mode 0 with every node stamping a common
+        // header before writing its partition (the ~10 % of write-only
+        // files with some byte sharing in Figure 7).
+        let wrec = params::draw_mix(&params::WRITE_RECORD_MIX, self.rng);
+        let style = self.rng.gen::<f64>();
+        if style < 0.12 {
+            // Mode 0 with a common header: every node stamps the header
+            // region before writing its partition (the ~10 % of write-only
+            // files with some byte sharing in Figure 7).
+            self.barrier_all();
+            let part = 12 * u64::from(wrec);
+            for n in 0..self.nodes() {
+                let stagger = self.stagger();
+                let prog = &mut self.progs[n];
+                prog.push(Op::Open {
+                    slot: 2,
+                    access: Access::Write,
+                    mode: IoMode::Independent,
+                    truncate: false,
+                });
+                prog.push(Op::Write { slot: 2, bytes: 256 });
+                prog.push(Op::Seek {
+                    slot: 2,
+                    offset: 256 + n as u64 * part,
+                });
+                prog.push(stagger);
+                for _ in 0..12 {
+                    prog.push(Op::Write {
+                        slot: 2,
+                        bytes: wrec,
+                    });
+                }
+                prog.push(Op::Close { slot: 2 });
+            }
+        } else if style < 0.20 {
+            // Modes 2-3: CFS-enforced round-robin ordering, realized by a
+            // barrier per round (nodes then issue in node order under the
+            // generator's deterministic FIFO scheduling). Mode 3
+            // additionally pins the request size — which `wrec` already
+            // is, per §4.6's observation that most apps *could not* use
+            // these modes precisely because their sizes varied.
+            let mode = if style < 0.16 {
+                IoMode::RoundRobin
+            } else {
+                IoMode::RoundRobinFixed
+            };
+            for n in 0..self.nodes() {
+                self.progs[n].push(Op::Open {
+                    slot: 2,
+                    access: Access::Write,
+                    mode,
+                    truncate: false,
+                });
+            }
+            for _round in 0..12 {
+                self.barrier_all();
+                for n in 0..self.nodes() {
+                    self.progs[n].push(Op::Write {
+                        slot: 2,
+                        bytes: wrec,
+                    });
+                }
+            }
+            for n in 0..self.nodes() {
+                self.progs[n].push(Op::Close { slot: 2 });
+            }
+        } else {
+            // Mode 1: every node appends through the shared pointer.
+            for n in 0..self.nodes() {
+                self.progs[n].push(Op::Open {
+                    slot: 2,
+                    access: Access::Write,
+                    mode: IoMode::SharedPointer,
+                    truncate: false,
+                });
+                for _ in 0..12 {
+                    let think = self.think();
+                    let prog = &mut self.progs[n];
+                    prog.push(think);
+                    prog.push(Op::Write {
+                        slot: 2,
+                        bytes: wrec,
+                    });
+                }
+                self.progs[n].push(Op::Close { slot: 2 });
+            }
+        }
+        self.status_file(3);
+    }
+
+    fn cfd_per_node(&mut self, plan: &JobPlan, sizes: &[u64]) {
+        // Recover the file-table layout (same derivation as `file_table`).
+        let mut layout_rng = StdRng::seed_from_u64(plan.seed ^ 0x5eed_0001);
+        let phases = layout_rng.gen_range(params::CFD_PHASES);
+        let p = self.nodes();
+        let staged = layout_rng.gen_bool(0.95);
+        // Consume the same draws file_table made for staged sizes.
+        if staged {
+            for _ in 0..p {
+                let _ = params::draw_mix(&params::INPUT_SIZE_MIX, &mut layout_rng);
+            }
+        }
+        let logs = layout_rng.gen_bool(0.4);
+        let staged_base = 3u16;
+        let log_base = staged_base + if staged { p as u16 } else { 0 };
+        let out_base = log_base + if logs { p as u16 } else { 0 };
+
+        // Per-node staged inputs, read once at start: 85 % in one request
+        // (Table 2 row 0), the rest in consecutive records.
+        if staged {
+            for n in 0..p {
+                let slot = staged_base + n as u16;
+                self.progs[n].push(Op::Open {
+                    slot,
+                    access: Access::Read,
+                    mode: IoMode::Independent,
+                    truncate: false,
+                });
+                if self.rng.gen_bool(0.94) {
+                    let think = self.think();
+                    let prog = &mut self.progs[n];
+                    prog.push(think);
+                    prog.push(Op::Read {
+                        slot,
+                        bytes: 1 << 20,
+                    });
+                } else {
+                    let record = params::draw_mix(&params::READ_RECORD_MIX, self.rng);
+                    let total = sizes[slot as usize];
+                    let mut done = 0u64;
+                    while done < total {
+                        let bytes = record.min((total - done) as u32);
+                        let think = self.think();
+                        let prog = &mut self.progs[n];
+                        prog.push(think);
+                        prog.push(Op::Read { slot, bytes });
+                        done += u64::from(bytes);
+                    }
+                }
+                self.progs[n].push(Op::Close { slot });
+            }
+        }
+        // Unaccessed log opens.
+        if logs {
+            for n in 0..p {
+                let slot = log_base + n as u16;
+                self.progs[n].push(Op::Open {
+                    slot,
+                    access: Access::Write,
+                    mode: IoMode::Independent,
+                    truncate: false,
+                });
+                self.progs[n].push(Op::Close { slot });
+            }
+        }
+
+        // The interleave shape for this job: chunk and pieces set where the
+        // job lands in Figure 8's clumps (0 % / ~50 % / >75 %).
+        let style = self.rng.gen::<f64>();
+        let (chunk, pieces) = if style < 0.20 {
+            // One request per chunk: no intraprocess locality at all.
+            (*[512u32, 1024, 2048].get(self.rng.gen_range(0..3)).expect("palette"), 1)
+        } else if style < 0.58 {
+            // Two pieces per chunk: ~50% compute-cache hit rate.
+            (*[512u32, 1024, 2048].get(self.rng.gen_range(0..3)).expect("palette"), 2)
+        } else {
+            // Eight fine pieces: ~87% hit rate (the >75% clump).
+            (*[1024u32, 2048].get(self.rng.gen_range(0..2)).expect("palette"), 8)
+        };
+
+        let shared_meta = self.rng.gen_bool(0.5);
+        let meta_full_write = self.rng.gen_bool(0.5);
+        for _phase in 0..phases {
+            self.phase_compute_all(params::PHASE_COMPUTE_MEAN);
+            // Broadcast parameters (sometimes twice: geometry + boundary
+            // conditions), interleaved grid read, barrier, per-node
+            // outputs.
+            self.broadcast_one_shot(0);
+            if self.rng.gen_bool(0.8) {
+                self.broadcast_one_shot(0);
+            }
+            self.interleave_2d(1, sizes[1], chunk, pieces);
+            self.barrier_all();
+            for n in 0..p {
+                let slot = out_base + (_phase as usize * p + n) as u16;
+                self.write_output(n, slot);
+            }
+            self.barrier_all();
+        }
+        // One job-status (or shared-metadata) read-write file per job.
+        if shared_meta {
+            self.shared_meta_file(2, meta_full_write);
+        } else {
+            self.status_file(2);
+        }
+    }
+
+    fn out_of_core(&mut self) {
+        let p = self.nodes();
+        let files = params::out_of_core::FILES;
+        for f in 0..files {
+            let node = f % p;
+            let slot = f as u16;
+            let temporary = f < params::out_of_core::TEMPORARY;
+            let random = !temporary
+                && f < params::out_of_core::TEMPORARY + params::out_of_core::RANDOM_RW;
+            self.progs[node].push(Op::Open {
+                slot,
+                access: Access::ReadWrite,
+                mode: IoMode::Independent,
+                truncate: false,
+            });
+            // Lay down a few blocks.
+            let blocks = self.rng.gen_range(3..10u64);
+            for _ in 0..blocks {
+                let think = self.think();
+                let prog = &mut self.progs[node];
+                prog.push(think);
+                prog.push(Op::Write {
+                    slot,
+                    bytes: 4096,
+                });
+            }
+            if random {
+                // Out-of-core stencil: random partial-block
+                // read-modify-writes in assorted sizes (Table 2's and
+                // Table 3's 4+ rows; Figure 5's non-sequential read-write
+                // population).
+                for i in 0..6u64 {
+                    let b = self.rng.gen_range(0..blocks);
+                    let bytes = *[512u32, 1024, 2048, 4096, 3072]
+                        .get((i % 5) as usize)
+                        .expect("palette");
+                    let think = self.think();
+                    let prog = &mut self.progs[node];
+                    prog.push(Op::Seek {
+                        slot,
+                        offset: b * 4096,
+                    });
+                    prog.push(think);
+                    prog.push(Op::Read { slot, bytes });
+                    prog.push(Op::Seek {
+                        slot,
+                        offset: b * 4096,
+                    });
+                    prog.push(Op::Write { slot, bytes });
+                }
+            } else {
+                // Read back the first block.
+                self.progs[node].push(Op::Seek { slot, offset: 0 });
+                let think = self.think();
+                self.progs[node].push(think);
+                self.progs[node].push(Op::Read { slot, bytes: 4096 });
+            }
+            self.progs[node].push(Op::Close { slot });
+            if temporary {
+                self.progs[node].push(Op::Delete { slot });
+            }
+        }
+    }
+
+    fn checkpointer(&mut self) {
+        let p = self.nodes();
+        for phase in 0..5usize {
+            self.phase_compute_all(Duration::from_secs(240));
+            self.broadcast_one_shot(0);
+            for n in 0..p {
+                let slot = 1 + (phase * p + n) as u16;
+                self.progs[n].push(Op::Open {
+                    slot,
+                    access: Access::Write,
+                    mode: IoMode::Independent,
+                    truncate: false,
+                });
+                for _ in 0..6 {
+                    let think = self.think();
+                    let prog = &mut self.progs[n];
+                    prog.push(think);
+                    // The Figure 4 spike: 1 MB write requests.
+                    prog.push(Op::Write {
+                        slot,
+                        bytes: 1 << 20,
+                    });
+                }
+                self.progs[n].push(Op::Close { slot });
+            }
+            self.barrier_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mix::{Mix, Scale};
+    use charisma_ipsc::SimTime;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn plan(class: JobClass, nodes: u32, seed: u64) -> JobPlan {
+        JobPlan {
+            id: 1,
+            class,
+            arrival: SimTime::ZERO,
+            nodes,
+            untraced_duration: Duration::from_secs(60),
+            seed,
+        }
+    }
+
+    fn sizes_for(files: &[FileSpec]) -> Vec<u64> {
+        files
+            .iter()
+            .map(|f| match f.origin {
+                FileOrigin::SharedDataset => 250_000,
+                FileOrigin::Staged { size } => size,
+                FileOrigin::Fresh => 0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn untraced_classes_have_no_io() {
+        for class in [
+            JobClass::StatusChecker,
+            JobClass::UntracedSingle,
+            JobClass::UntracedMulti,
+        ] {
+            let p = plan(class, 1, 3);
+            let b = build(&p, &[]);
+            assert!(b.files.is_empty());
+            assert!(b.programs.iter().all(|p| p.ops.is_empty()));
+        }
+    }
+
+    #[test]
+    fn table1_file_counts_per_class() {
+        // Table 1: the class templates open 1 / 2 / 3 / 4 / 5+ files.
+        for (class, nodes, expect) in [
+            (JobClass::StatusReader, 4, 1),
+            (JobClass::Copier, 1, 2),
+            (JobClass::PostProcessor, 1, 3),
+            (JobClass::SmallCfd, 4, 4),
+        ] {
+            let files = file_table(&plan(class, nodes, 5));
+            assert_eq!(files.len(), expect, "{class:?}");
+        }
+        let many = file_table(&plan(JobClass::CfdPerNode, 16, 5));
+        assert!(many.len() >= 5, "CfdPerNode is the 5+ bucket");
+        assert_eq!(
+            file_table(&plan(JobClass::OutOfCore, 16, 5)).len(),
+            params::out_of_core::FILES
+        );
+    }
+
+    #[test]
+    fn programs_balance_opens_and_are_deterministic() {
+        for class in [
+            JobClass::StatusReader,
+            JobClass::Copier,
+            JobClass::PostProcessor,
+            JobClass::SmallCfd,
+            JobClass::CfdPerNode,
+            JobClass::OutOfCore,
+            JobClass::Checkpointer,
+        ] {
+            let nodes = match class {
+                JobClass::Copier | JobClass::PostProcessor => 1,
+                JobClass::OutOfCore => 16,
+                _ => 8,
+            };
+            let p = plan(class, nodes, 42);
+            let files = file_table(&p);
+            let sizes = sizes_for(&files);
+            let b1 = build_programs(&p, &sizes);
+            let b2 = build_programs(&p, &sizes);
+            assert_eq!(b1, b2, "{class:?} must be deterministic");
+            assert_eq!(b1.len(), nodes as usize);
+            for prog in &b1 {
+                assert!(prog.opens_balanced(), "{class:?} leaves files open");
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_core_deletes_its_temporaries() {
+        let p = plan(JobClass::OutOfCore, 16, 9);
+        let b = build(&p, &sizes_for(&file_table(&p)));
+        let deletes: usize = b
+            .programs
+            .iter()
+            .flat_map(|p| &p.ops)
+            .filter(|op| matches!(op, Op::Delete { .. }))
+            .count();
+        assert_eq!(deletes, params::out_of_core::TEMPORARY);
+    }
+
+    #[test]
+    fn checkpointer_writes_megabyte_requests() {
+        let p = plan(JobClass::Checkpointer, 32, 11);
+        let b = build(&p, &sizes_for(&file_table(&p)));
+        let mb_writes = b
+            .programs
+            .iter()
+            .flat_map(|p| &p.ops)
+            .filter(|op| matches!(op, Op::Write { bytes, .. } if *bytes == 1 << 20))
+            .count();
+        assert_eq!(mb_writes, 32 * 5 * 6);
+    }
+
+    #[test]
+    fn cfd_outputs_cover_every_node_every_phase() {
+        let p = plan(JobClass::CfdPerNode, 8, 1234);
+        let files = file_table(&p);
+        let progs = build_programs(&p, &sizes_for(&files));
+        // Every node must write at least one output per phase: count
+        // sessions opened with Write access.
+        for (n, prog) in progs.iter().enumerate() {
+            let writes = prog
+                .ops
+                .iter()
+                .filter(|op| {
+                    matches!(
+                        op,
+                        Op::Open {
+                            access: Access::Write,
+                            ..
+                        }
+                    )
+                })
+                .count();
+            assert!(writes >= 2, "node {n} wrote only {writes} files");
+        }
+    }
+
+    #[test]
+    fn interleave_is_sequential_non_consecutive() {
+        // Verify the signature pattern produces monotonically increasing,
+        // gapped offsets per node.
+        let p = plan(JobClass::CfdPerNode, 4, 77);
+        let files = file_table(&p);
+        let progs = build_programs(&p, &sizes_for(&files));
+        // Walk node 1's ops for slot 1, tracking seeks.
+        let mut offset = 0u64;
+        let mut last_end: Option<u64> = None;
+        let mut gaps = 0;
+        let mut reads = 0;
+        for op in &progs[1].ops {
+            if matches!(op, Op::Close { slot: 1 }) {
+                // Each phase re-opens the grid; only check the first pass.
+                break;
+            }
+            match op {
+                Op::Seek { slot: 1, offset: o } => offset = *o,
+                Op::Read { slot: 1, bytes } => {
+                    if let Some(end) = last_end {
+                        assert!(offset >= end, "interleave must move forward");
+                        if offset > end {
+                            gaps += 1;
+                        }
+                    }
+                    last_end = Some(offset + u64::from(*bytes));
+                    offset += u64::from(*bytes);
+                    reads += 1;
+                }
+                _ => {}
+            }
+        }
+        assert!(reads > 2);
+        assert!(gaps > 0, "non-consecutive per node");
+    }
+
+    #[test]
+    fn full_mix_builds_every_job() {
+        // Smoke: every traced job in a small mix compiles.
+        let mix = Mix::plan(Scale(0.05), &mut StdRng::seed_from_u64(8));
+        for j in mix.jobs.iter().filter(|j| j.class.traced()) {
+            let files = file_table(j);
+            let sizes = sizes_for(&files);
+            let progs = build_programs(j, &sizes);
+            assert_eq!(progs.len(), j.nodes as usize);
+        }
+    }
+}

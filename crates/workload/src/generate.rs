@@ -1,0 +1,708 @@
+//! The generator: runs the job mix on the simulated machine and CFS, and
+//! collects the CHARISMA trace exactly the way the paper's instrumentation
+//! did (per-node buffers, service-node collector, drifting clocks).
+
+use std::collections::HashMap;
+
+use charisma_cfs::{Access, Cfs, CfsConfig, CfsError, IoMode};
+use charisma_ipsc::alloc::Subcube;
+use charisma_ipsc::{Duration, EventQueue, Machine, MachineConfig, SimTime};
+use charisma_trace::record::{AccessKind, EventBody, TraceHeader};
+use charisma_trace::{Trace, TraceBuilder};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::apps::{self, FileOrigin, FileSpec};
+use crate::mix::{Mix, Scale};
+use crate::params;
+use crate::program::{Op, Program};
+
+/// Generator configuration.
+#[derive(Clone, Debug)]
+pub struct GeneratorConfig {
+    /// Workload scale: 1.0 reproduces the paper's full three-week
+    /// population (~3000 jobs, ~60k file sessions, millions of requests);
+    /// tests use small fractions.
+    pub scale: f64,
+    /// Master RNG seed (the default everywhere is 4994, for SC '94).
+    pub seed: u64,
+    /// Machine to simulate.
+    pub machine: MachineConfig,
+    /// File system to simulate.
+    pub cfs: CfsConfig,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            scale: 1.0,
+            seed: 4994,
+            machine: MachineConfig::nas_ipsc860(),
+            cfs: CfsConfig::nas(),
+        }
+    }
+}
+
+impl GeneratorConfig {
+    /// A small configuration for tests: a fraction of the workload on the
+    /// full machine.
+    pub fn test_scale(scale: f64) -> Self {
+        GeneratorConfig {
+            scale,
+            ..Default::default()
+        }
+    }
+}
+
+/// Aggregate facts about a generated workload.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GenStats {
+    /// Jobs that ran (traced and untraced).
+    pub jobs: usize,
+    /// Jobs whose I/O was traced.
+    pub traced_jobs: usize,
+    /// File-open sessions created by traced jobs.
+    pub sessions: u64,
+    /// Read + write requests issued by traced jobs.
+    pub requests: u64,
+    /// Simulated time when the last job finished.
+    pub end_time: SimTime,
+    /// Fraction of trace messages saved by the 4 KB node buffers.
+    pub message_reduction: f64,
+}
+
+/// A generated workload: the collected trace plus bookkeeping.
+#[derive(Clone, Debug)]
+pub struct GeneratedWorkload {
+    /// The collected (raw, unsorted) trace.
+    pub trace: Trace,
+    /// Aggregate facts.
+    pub stats: GenStats,
+}
+
+/// Run the generator.
+pub fn generate(config: GeneratorConfig) -> GeneratedWorkload {
+    Generator::new(config).run()
+}
+
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+enum Ev {
+    Arrival(usize),
+    NodeStep { job: u32, local: usize },
+    UntracedEnd { job: u32 },
+    Archive { files: Vec<u32> },
+}
+
+struct SlotState {
+    path: String,
+    /// Dataset-pool index, if the slot is a shared dataset.
+    dataset: Option<usize>,
+    session: Option<u32>,
+    file: Option<u32>,
+}
+
+struct RunningJob {
+    plan_idx: usize,
+    subcube: Subcube,
+    programs: Vec<Program>,
+    pc: Vec<usize>,
+    slots: Vec<SlotState>,
+    /// Barrier id → locals arrived so far.
+    barriers: HashMap<u32, Vec<usize>>,
+    active_nodes: usize,
+    /// Files to archive (delete untraced) after the job.
+    cleanup: Vec<u32>,
+}
+
+struct Dataset {
+    file: u32,
+    size: u64,
+    in_use: bool,
+}
+
+struct Generator {
+    config: GeneratorConfig,
+    machine: Machine,
+    cfs: Cfs,
+    trace: Option<TraceBuilder>,
+    queue: EventQueue<Ev>,
+    mix: Mix,
+    running: HashMap<u32, RunningJob>,
+    waiting: Vec<usize>,
+    datasets: Vec<Dataset>,
+    next_dataset: usize,
+    stats: GenStats,
+}
+
+impl Generator {
+    fn new(config: GeneratorConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let machine = Machine::boot(config.machine.clone(), &mut rng);
+        let cfs = Cfs::new(config.cfs.clone());
+        let mix = Mix::plan(Scale(config.scale), &mut rng);
+        let header = TraceHeader {
+            version: TraceHeader::VERSION,
+            compute_nodes: config.machine.compute_nodes() as u32,
+            io_nodes: config.machine.io_nodes as u32,
+            block_bytes: 4096,
+            seed: config.seed,
+        };
+        let clocks = (0..config.machine.compute_nodes())
+            .map(|n| *machine.clock(n))
+            .collect();
+        let latencies = (0..config.machine.compute_nodes())
+            .map(|n| machine.service_message_latency(n, 4096))
+            .collect();
+        let trace = TraceBuilder::new(header, clocks, *machine.service_clock(), latencies);
+        Generator {
+            config,
+            machine,
+            cfs,
+            trace: Some(trace),
+            queue: EventQueue::new(),
+            mix,
+            running: HashMap::new(),
+            waiting: Vec::new(),
+            datasets: Vec::new(),
+            next_dataset: 0,
+            stats: GenStats::default(),
+        }
+    }
+
+    fn run(mut self) -> GeneratedWorkload {
+        self.seed_datasets();
+        for (i, job) in self.mix.jobs.iter().enumerate() {
+            self.queue.push(job.arrival, Ev::Arrival(i));
+        }
+        let mut end = SimTime::ZERO;
+        while let Some((t, ev)) = self.queue.pop() {
+            end = end.max(t);
+            match ev {
+                Ev::Arrival(i) => self.try_start(i, t),
+                Ev::NodeStep { job, local } => self.step_node(job, local, t),
+                Ev::UntracedEnd { job } => self.finish_job(job, t),
+                Ev::Archive { files } => {
+                    for f in files {
+                        // Temporaries may already be gone.
+                        let _ = self.cfs.delete(f);
+                    }
+                }
+            }
+        }
+        self.stats.jobs = self.mix.jobs.len();
+        self.stats.traced_jobs = self.mix.traced_jobs();
+        self.stats.end_time = end;
+        let trace = self.trace.take().expect("builder present");
+        self.stats.message_reduction = trace.message_reduction();
+        GeneratedWorkload {
+            trace: trace.finish(end),
+            stats: self.stats,
+        }
+    }
+
+    /// Stage the shared dataset files before tracing begins (untraced:
+    /// they were written before the instrumentation window, or arrived by
+    /// Ethernet from the host).
+    fn seed_datasets(&mut self) {
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0xda7a);
+        let count = ((params::DATASET_FILES as f64) * self.config.scale.clamp(0.1, 1.0))
+            .round() as usize;
+        for i in 0..count.max(4) {
+            let size = params::draw_mix(&params::INPUT_SIZE_MIX, &mut rng);
+            let path = format!("dataset/{i}");
+            let open = self
+                .cfs
+                .open(u32::MAX, &path, Access::Write, IoMode::Independent, 0, false)
+                .expect("dataset creation");
+            let mut written = 0u64;
+            while written < size {
+                let chunk = (size - written).min(1 << 20) as u32;
+                self.cfs
+                    .write(&self.machine, open.session, 0, chunk, SimTime::ZERO)
+                    .expect("dataset staging");
+                written += u64::from(chunk);
+            }
+            self.cfs.close(open.session, 0).expect("dataset close");
+            self.datasets.push(Dataset {
+                file: open.file,
+                size,
+                in_use: false,
+            });
+        }
+    }
+
+    fn try_start(&mut self, plan_idx: usize, t: SimTime) {
+        let plan = &self.mix.jobs[plan_idx];
+        let job = plan.id;
+        let nodes = plan.nodes as usize;
+        let Some(subcube) = self.machine.allocator_mut().allocate_nodes(nodes) else {
+            self.waiting.push(plan_idx);
+            return;
+        };
+        let traced = plan.class.traced();
+        self.log_service(
+            t,
+            EventBody::JobStart {
+                job,
+                nodes: nodes as u16,
+                traced,
+            },
+        );
+        if !traced {
+            let end = t + self.mix.jobs[plan_idx].untraced_duration;
+            self.running.insert(
+                job,
+                RunningJob {
+                    plan_idx,
+                    subcube,
+                    programs: Vec::new(),
+                    pc: Vec::new(),
+                    slots: Vec::new(),
+                    barriers: HashMap::new(),
+                    active_nodes: 0,
+                    cleanup: Vec::new(),
+                },
+            );
+            self.queue.push(end, Ev::UntracedEnd { job });
+            return;
+        }
+
+        // Resolve the file table: datasets, staged inputs, fresh paths.
+        let plan = self.mix.jobs[plan_idx].clone();
+        let specs = apps::file_table(&plan);
+        let mut slots = Vec::with_capacity(specs.len());
+        let mut sizes = Vec::with_capacity(specs.len());
+        let mut cleanup = Vec::new();
+        for (idx, spec) in specs.iter().enumerate() {
+            let (state, size) = self.resolve_slot(job, idx, spec, &mut cleanup);
+            sizes.push(size);
+            slots.push(state);
+        }
+        let programs = apps::build_programs(&plan, &sizes);
+        let pc = vec![0; programs.len()];
+        self.running.insert(
+            job,
+            RunningJob {
+                plan_idx,
+                subcube,
+                programs,
+                pc,
+                slots,
+                barriers: HashMap::new(),
+                active_nodes: nodes,
+                cleanup,
+            },
+        );
+        for local in 0..nodes {
+            self.queue.push(
+                t + Duration::from_micros(local as u64),
+                Ev::NodeStep { job, local },
+            );
+        }
+    }
+
+    fn resolve_slot(
+        &mut self,
+        job: u32,
+        idx: usize,
+        spec: &FileSpec,
+        cleanup: &mut Vec<u32>,
+    ) -> (SlotState, u64) {
+        match spec.origin {
+            FileOrigin::SharedDataset => {
+                // Pick the next free dataset (round-robin); never share one
+                // between concurrent jobs.
+                let n = self.datasets.len();
+                let mut pick = None;
+                for k in 0..n {
+                    let cand = (self.next_dataset + k) % n;
+                    if !self.datasets[cand].in_use {
+                        pick = Some(cand);
+                        break;
+                    }
+                }
+                let pick = pick.unwrap_or(self.next_dataset % n);
+                self.next_dataset = pick + 1;
+                self.datasets[pick].in_use = true;
+                (
+                    SlotState {
+                        path: format!("dataset/{pick}"),
+                        dataset: Some(pick),
+                        session: None,
+                        file: Some(self.datasets[pick].file),
+                    },
+                    self.datasets[pick].size,
+                )
+            }
+            FileOrigin::Staged { size } => {
+                let path = format!("job{job}/{}{idx}", spec.hint);
+                let open = self
+                    .cfs
+                    .open(u32::MAX, &path, Access::Write, IoMode::Independent, 0, false)
+                    .expect("staging open");
+                self.cfs
+                    .write(&self.machine, open.session, 0, size as u32, SimTime::ZERO)
+                    .expect("staging write");
+                self.cfs.close(open.session, 0).expect("staging close");
+                cleanup.push(open.file);
+                (
+                    SlotState {
+                        path,
+                        dataset: None,
+                        session: None,
+                        file: Some(open.file),
+                    },
+                    size,
+                )
+            }
+            FileOrigin::Fresh => (
+                SlotState {
+                    path: format!("job{job}/{}{idx}", spec.hint),
+                    dataset: None,
+                    session: None,
+                    file: None,
+                },
+                0,
+            ),
+        }
+    }
+
+    /// Execute ops for (job, local) until one blocks; schedule the next
+    /// step.
+    fn step_node(&mut self, job: u32, local: usize, t: SimTime) {
+        loop {
+            // Fetch the next op, releasing the borrow before acting on it.
+            let (op, node) = {
+                let Some(run) = self.running.get_mut(&job) else {
+                    return;
+                };
+                if run.pc[local] >= run.programs[local].ops.len() {
+                    run.active_nodes -= 1;
+                    if run.active_nodes == 0 {
+                        self.finish_job(job, t);
+                    }
+                    return;
+                }
+                let op = run.programs[local].ops[run.pc[local]].clone();
+                run.pc[local] += 1;
+                (op, run.subcube.base + local)
+            };
+            match op {
+                Op::Compute(d) => {
+                    self.queue.push(t + d, Ev::NodeStep { job, local });
+                    return;
+                }
+                Op::Open {
+                    slot,
+                    access,
+                    mode,
+                    truncate,
+                } => {
+                    let path = self.running[&job].slots[slot as usize].path.clone();
+                    let open = self
+                        .cfs
+                        .open(job, &path, access, mode, node as u16, truncate)
+                        .expect("template opens are well-formed");
+                    let run = self.running.get_mut(&job).expect("running");
+                    let s = &mut run.slots[slot as usize];
+                    s.session = Some(open.session);
+                    let is_dataset = s.dataset.is_some();
+                    s.file = Some(open.file);
+                    if open.created && !is_dataset && !run.cleanup.contains(&open.file) {
+                        // Track job-created files for archiving, once.
+                        run.cleanup.push(open.file);
+                    }
+                    let kind = match access {
+                        Access::Read => AccessKind::Read,
+                        Access::Write => AccessKind::Write,
+                        Access::ReadWrite => AccessKind::ReadWrite,
+                    };
+                    self.stats.sessions += 1;
+                    self.log_node(
+                        node,
+                        t,
+                        EventBody::Open {
+                            job,
+                            file: open.file,
+                            session: open.session,
+                            mode: mode.code(),
+                            access: kind,
+                            created: open.created,
+                        },
+                    );
+                    // Opens cost a round trip to the I/O subsystem.
+                    let cost = Duration::from_millis(3);
+                    self.queue.push(t + cost, Ev::NodeStep { job, local });
+                    return;
+                }
+                Op::Seek { slot, offset } => {
+                    let session = self.slot_session(job, slot);
+                    self.cfs
+                        .seek(session, node as u16, offset)
+                        .expect("seek is valid");
+                    // Seeks are client-local: free, keep executing.
+                }
+                Op::Read { slot, bytes } => {
+                    let session = self.slot_session(job, slot);
+                    let out = self
+                        .cfs
+                        .read(&self.machine, session, node as u16, bytes, t)
+                        .expect("read is valid");
+                    self.stats.requests += 1;
+                    self.log_node(
+                        node,
+                        t,
+                        EventBody::Read {
+                            session,
+                            offset: out.offset,
+                            bytes: out.bytes,
+                        },
+                    );
+                    self.queue.push(out.completion, Ev::NodeStep { job, local });
+                    return;
+                }
+                Op::Write { slot, bytes } => {
+                    let session = self.slot_session(job, slot);
+                    match self.cfs.write(&self.machine, session, node as u16, bytes, t) {
+                        Ok(out) => {
+                            self.stats.requests += 1;
+                            self.log_node(
+                                node,
+                                t,
+                                EventBody::Write {
+                                    session,
+                                    offset: out.offset,
+                                    bytes: out.bytes,
+                                },
+                            );
+                            self.queue.push(out.completion, Ev::NodeStep { job, local });
+                            return;
+                        }
+                        Err(CfsError::NoSpace { .. }) => {
+                            // Disk full: the job skips the write (users of
+                            // the real machine hit this too — §4.2 suspects
+                            // capacity limited file sizes). Keep going.
+                            continue;
+                        }
+                        Err(e) => panic!("unexpected CFS error: {e}"),
+                    }
+                }
+                Op::Close { slot } => {
+                    let session = self.slot_session(job, slot);
+                    let size = self.cfs.close(session, node as u16).expect("close valid");
+                    self.log_node(node, t, EventBody::Close { session, size });
+                }
+                Op::Delete { slot } => {
+                    let file = self.running[&job].slots[slot as usize]
+                        .file
+                        .expect("delete after open");
+                    self.cfs.delete(file).expect("delete valid");
+                    self.log_node(node, t, EventBody::Delete { job, file });
+                }
+                Op::Barrier(id) => {
+                    let run = self.running.get_mut(&job).expect("running");
+                    let total = run.programs.len();
+                    let arrived = run.barriers.entry(id).or_default();
+                    arrived.push(local);
+                    if arrived.len() == total {
+                        let mut locals = run.barriers.remove(&id).expect("entry");
+                        locals.sort_unstable();
+                        for (k, l) in locals.into_iter().enumerate() {
+                            self.queue.push(
+                                t + Duration::from_micros(k as u64),
+                                Ev::NodeStep { job, local: l },
+                            );
+                        }
+                    }
+                    return;
+                }
+                Op::AwaitTurn { .. } => {
+                    // Turn order is realized by barrier-per-round plus
+                    // deterministic FIFO scheduling; nothing to wait for.
+                }
+            }
+        }
+    }
+
+    fn slot_session(&self, job: u32, slot: u16) -> u32 {
+        self.running[&job].slots[slot as usize]
+            .session
+            .expect("request after open")
+    }
+
+    fn finish_job(&mut self, job: u32, t: SimTime) {
+        let Some(run) = self.running.remove(&job) else {
+            return;
+        };
+        self.log_service(t, EventBody::JobEnd { job });
+        self.machine.allocator_mut().release(run.subcube);
+        for slot in &run.slots {
+            if let Some(d) = slot.dataset {
+                self.datasets[d].in_use = false;
+            }
+        }
+        if !run.cleanup.is_empty() {
+            self.queue.push(
+                t + params::ARCHIVE_AFTER,
+                Ev::Archive { files: run.cleanup },
+            );
+        }
+        // Node space freed: retry waiting jobs (FIFO).
+        let waiting = std::mem::take(&mut self.waiting);
+        for idx in waiting {
+            self.try_start(idx, t);
+        }
+        let _ = run.plan_idx;
+    }
+
+    fn log_node(&mut self, node: usize, t: SimTime, body: EventBody) {
+        self.trace
+            .as_mut()
+            .expect("builder present")
+            .log(node, t, body);
+    }
+
+    fn log_service(&mut self, t: SimTime, body: EventBody) {
+        self.trace
+            .as_mut()
+            .expect("builder present")
+            .log_service(t, body);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use charisma_trace::postprocess;
+
+    fn small() -> GeneratedWorkload {
+        generate(GeneratorConfig::test_scale(0.02))
+    }
+
+    #[test]
+    fn generates_a_nonempty_trace() {
+        let w = small();
+        assert!(w.trace.event_count() > 1000, "{}", w.trace.event_count());
+        assert!(w.stats.sessions > 100);
+        assert!(w.stats.requests > 500);
+        assert!(w.stats.end_time > SimTime::from_hours(1));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(GeneratorConfig::test_scale(0.01));
+        let b = generate(GeneratorConfig::test_scale(0.01));
+        assert_eq!(a.trace.event_count(), b.trace.event_count());
+        assert_eq!(a.trace.blocks.len(), b.trace.blocks.len());
+        // Spot-check exact equality of a few blocks.
+        for (x, y) in a.trace.blocks.iter().zip(&b.trace.blocks).take(20) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn every_job_starts_and_ends() {
+        let w = small();
+        let mut starts = std::collections::HashSet::new();
+        let mut ends = std::collections::HashSet::new();
+        for (_, e) in w.trace.raw_events() {
+            match e.body {
+                EventBody::JobStart { job, .. } => {
+                    assert!(starts.insert(job), "job {job} started twice");
+                }
+                EventBody::JobEnd { job } => {
+                    assert!(ends.insert(job), "job {job} ended twice");
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(starts, ends, "every started job ends");
+        assert_eq!(starts.len(), w.stats.jobs);
+    }
+
+    #[test]
+    fn sessions_open_and_close_consistently() {
+        let w = small();
+        let mut opens: HashMap<u32, i64> = HashMap::new();
+        for (_, e) in w.trace.raw_events() {
+            match e.body {
+                EventBody::Open { session, .. } => *opens.entry(session).or_insert(0) += 1,
+                EventBody::Close { session, .. } => *opens.entry(session).or_insert(0) -= 1,
+                _ => {}
+            }
+        }
+        assert!(!opens.is_empty());
+        let unbalanced = opens.values().filter(|&&v| v != 0).count();
+        assert_eq!(unbalanced, 0, "all sessions fully closed");
+    }
+
+    #[test]
+    fn requests_reference_open_sessions() {
+        let w = small();
+        let ordered = postprocess(&w.trace);
+        let mut live: std::collections::HashMap<u32, u32> = HashMap::new();
+        let mut errors = 0;
+        for e in &ordered {
+            match e.body {
+                EventBody::Open { session, .. } => *live.entry(session).or_insert(0) += 1,
+                EventBody::Close { session, .. } => {
+                    *live.entry(session).or_insert(1) -= 1;
+                }
+                EventBody::Read { session, .. } | EventBody::Write { session, .. }
+                    // Post-processed order is approximate; count, don't
+                    // assert, misorderings.
+                    if live.get(&session).copied().unwrap_or(0) == 0 => {
+                        errors += 1;
+                    }
+                _ => {}
+            }
+        }
+        let total: usize = ordered.len();
+        assert!(
+            errors * 50 < total,
+            "{errors}/{total} requests outside open windows (ordering noise)"
+        );
+    }
+
+    #[test]
+    fn trace_buffering_saves_messages() {
+        let w = small();
+        assert!(
+            w.stats.message_reduction > 0.9,
+            "paper: >90% message reduction; got {}",
+            w.stats.message_reduction
+        );
+    }
+
+    #[test]
+    fn deletes_only_follow_creates() {
+        let w = small();
+        let mut created = std::collections::HashSet::new();
+        let mut created_by: HashMap<u32, u32> = HashMap::new();
+        let mut temp = 0u32;
+        for (_, e) in w.trace.raw_events() {
+            match e.body {
+                EventBody::Open {
+                    job,
+                    file,
+                    created: c,
+                    ..
+                }
+                    if c => {
+                        created.insert(file);
+                        created_by.insert(file, job);
+                    }
+                EventBody::Delete { job, file } => {
+                    // Traced deletes come from the out-of-core app deleting
+                    // its own temporaries.
+                    assert_eq!(created_by.get(&file), Some(&job));
+                    temp += 1;
+                }
+                _ => {}
+            }
+        }
+        assert!(temp > 0, "temporary files exist at this scale");
+    }
+}

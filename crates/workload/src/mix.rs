@@ -1,0 +1,369 @@
+//! The job mix: who runs, when, and on how many nodes.
+//!
+//! Reproduces §4.1's population: 3016 jobs over the 156-hour traced period,
+//! 2237 single-node (over 800 of them one periodic status checker), 779
+//! multi-node with the Figure 2 node-count distribution, of which 429 were
+//! traced. Arrivals follow a Poisson process sized so the machine's
+//! concurrency profile matches Figure 1 (≈27 % idle, ≈35 % multi-job).
+
+use charisma_ipsc::{Duration, SimTime};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::params;
+
+/// The application class a job runs. Traced classes carry the template
+/// that generates per-node programs; untraced classes only occupy nodes
+/// (their CFS I/O, if any, is invisible — exactly like the system programs
+/// and stale binaries of the real trace).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum JobClass {
+    /// The periodic machine-status check (untraced single-node; >800 runs).
+    StatusChecker,
+    /// Miscellaneous untraced single-node jobs (ls, cp, ftp, old binaries).
+    UntracedSingle,
+    /// Untraced multi-node jobs.
+    UntracedMulti,
+    /// Traced: opens one shared file, every node reads it whole in one
+    /// request (Table 1's one-file bucket; Figure 7's fully-byte-shared
+    /// population).
+    StatusReader,
+    /// Traced: reads one file, writes one file, small consecutive records
+    /// (Table 1's two-file bucket).
+    Copier,
+    /// Traced single-node: reads two prior outputs block-by-block (the
+    /// Figure 4 spike at 4 KB — "some users have optimized for the
+    /// file-system block size"), writes a summary (three-file bucket).
+    PostProcessor,
+    /// Traced: small CFD run — broadcast parameter file, whole-input
+    /// broadcast read in small records, one *shared* output file written in
+    /// mode 1, and a read-write status file (four-file bucket).
+    SmallCfd,
+    /// Traced: production CFD run — per-node input partitions, broadcast
+    /// parameter files and a 2-D interleaved shared input each phase,
+    /// per-node output files each phase, a read-write status file, and
+    /// sometimes unaccessed per-node log opens (the 5+ bucket; the source
+    /// of the 44,500 write-only files).
+    CfdPerNode,
+    /// Traced, exactly one: the out-of-core application that opened 2217
+    /// files and created nearly all of the trace's temporary files.
+    OutOfCore,
+    /// Traced, exactly one: a CFD variant that checkpoints in 1 MB
+    /// requests (Figure 4: "one trace alone … contributed the spike at
+    /// 1 MB").
+    Checkpointer,
+}
+
+impl JobClass {
+    /// Whether the job's CFS I/O appears in the trace.
+    pub fn traced(self) -> bool {
+        !matches!(
+            self,
+            JobClass::StatusChecker | JobClass::UntracedSingle | JobClass::UntracedMulti
+        )
+    }
+}
+
+/// One planned job.
+#[derive(Clone, Debug)]
+pub struct JobPlan {
+    /// Job identity (also the trace's job id).
+    pub id: u32,
+    /// Application class.
+    pub class: JobClass,
+    /// Arrival time.
+    pub arrival: SimTime,
+    /// Compute nodes requested (a power of two).
+    pub nodes: u32,
+    /// For untraced jobs: how long the job occupies its nodes. Traced jobs
+    /// derive their duration from their programs.
+    pub untraced_duration: Duration,
+    /// Per-job RNG seed (templates draw their shapes from this).
+    pub seed: u64,
+}
+
+/// The whole planned mix, sorted by arrival.
+#[derive(Clone, Debug)]
+pub struct Mix {
+    /// Jobs in arrival order.
+    pub jobs: Vec<JobPlan>,
+    /// Length of the traced period.
+    pub trace_len: SimTime,
+}
+
+/// Scale factor: 1.0 is the paper's full three-week population; tests use
+/// small fractions. Counts scale linearly (but the singleton jobs —
+/// out-of-core, checkpointer — are kept whenever the scale admits any
+/// many-file job).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Scale(pub f64);
+
+impl Scale {
+    fn apply(self, n: usize) -> usize {
+        ((n as f64) * self.0).round() as usize
+    }
+}
+
+impl Mix {
+    /// Plan the job mix at the given scale.
+    pub fn plan<R: Rng>(scale: Scale, rng: &mut R) -> Mix {
+        let trace_len = SimTime::from_hours((params::TRACE_HOURS as f64 * scale.0.min(1.0))
+            .max(2.0)
+            .round() as u64);
+
+        // Build the class deck with exact (scaled) counts.
+        let mut deck: Vec<JobClass> = Vec::new();
+        let push = |deck: &mut Vec<JobClass>, class, n| {
+            deck.extend(std::iter::repeat_n(class, n));
+        };
+        push(
+            &mut deck,
+            JobClass::UntracedSingle,
+            scale.apply(
+                params::SINGLE_NODE_JOBS
+                    - params::STATUS_CHECKER_RUNS
+                    - params::TRACED_SINGLE_JOBS,
+            ),
+        );
+        push(
+            &mut deck,
+            JobClass::UntracedMulti,
+            scale.apply(
+                params::TOTAL_JOBS - params::SINGLE_NODE_JOBS - params::TRACED_MULTI_JOBS,
+            ),
+        );
+        // Traced classes, Table 1 buckets. StatusReader covers the one-file
+        // bucket: 69 multi-node + 2 single-node runs.
+        push(&mut deck, JobClass::StatusReader, scale.apply(params::table1::ONE_FILE_JOBS));
+        push(&mut deck, JobClass::Copier, scale.apply(params::table1::TWO_FILE_JOBS));
+        push(
+            &mut deck,
+            JobClass::PostProcessor,
+            scale.apply(params::table1::THREE_FILE_JOBS),
+        );
+        push(&mut deck, JobClass::SmallCfd, scale.apply(params::table1::FOUR_FILE_JOBS));
+        let many = scale.apply(params::table1::MANY_FILE_JOBS);
+        if many >= 1 {
+            push(&mut deck, JobClass::CfdPerNode, many.saturating_sub(2));
+            push(&mut deck, JobClass::OutOfCore, 1);
+            if many >= 2 {
+                push(&mut deck, JobClass::Checkpointer, 1);
+            }
+        }
+        deck.shuffle(rng);
+
+        // Nonhomogeneous Poisson arrivals over the traced period (diurnal
+        // modulation: submissions thin out at night), via thinning of a
+        // homogeneous process at the peak (day) rate.
+        let mut jobs = Vec::with_capacity(deck.len() + scale.apply(params::STATUS_CHECKER_RUNS));
+        let horizon = trace_len.as_micros() as f64;
+        let n = deck.len().max(1) as f64;
+        // Average rate must deliver n arrivals; day rate compensates for
+        // the thinned nights.
+        let night = params::NIGHT_FRACTION;
+        let mean_factor = (1.0 - night) + night * params::NIGHT_RATE;
+        let day_rate = n / horizon / mean_factor;
+        let day_us = 24.0 * 3600.0 * 1e6;
+        let is_night = |t: f64| (t % day_us) / day_us < night;
+        let mut t = 0.0f64;
+        for class in deck {
+            loop {
+                t += -(1.0 - rng.gen::<f64>()).ln() / day_rate;
+                let keep = if is_night(t) { params::NIGHT_RATE } else { 1.0 };
+                if rng.gen::<f64>() < keep || t >= horizon {
+                    break;
+                }
+            }
+            let arrival = SimTime::from_micros((t.min(horizon * 0.98)) as u64);
+            jobs.push(Self::make_job(class, arrival, rng));
+        }
+
+        // ... plus the periodic status checker.
+        let runs = scale.apply(params::STATUS_CHECKER_RUNS);
+        if runs > 0 {
+            let period = horizon / runs as f64;
+            for k in 0..runs {
+                let jitter = rng.gen_range(-0.05..0.05) * period;
+                let at = (k as f64 * period + period * 0.5 + jitter).max(0.0);
+                jobs.push(Self::make_job(
+                    JobClass::StatusChecker,
+                    SimTime::from_micros(at as u64),
+                    rng,
+                ));
+            }
+        }
+
+        jobs.sort_by_key(|j| j.arrival);
+        for (i, j) in jobs.iter_mut().enumerate() {
+            j.id = i as u32;
+        }
+        Mix { jobs, trace_len }
+    }
+
+    fn make_job<R: Rng>(class: JobClass, arrival: SimTime, rng: &mut R) -> JobPlan {
+        let nodes = match class {
+            JobClass::StatusChecker | JobClass::UntracedSingle | JobClass::PostProcessor
+            | JobClass::Copier => 1,
+            JobClass::StatusReader => {
+                // Mostly small multi-node, a couple single-node.
+                if rng.gen_bool(0.03) {
+                    1
+                } else {
+                    *[2u32, 4, 8].choose(rng).expect("nonempty")
+                }
+            }
+            JobClass::SmallCfd => *[2u32, 4, 8].choose(rng).expect("nonempty"),
+            JobClass::OutOfCore => params::out_of_core::NODES,
+            JobClass::Checkpointer => 32,
+            JobClass::UntracedMulti | JobClass::CfdPerNode => {
+                params::draw_mix(
+                    &params::MULTI_NODE_WEIGHTS
+                        .map(|(n, w)| (n, w as u32)),
+                    rng,
+                )
+            }
+        };
+        let mean = if nodes == 1 {
+            params::SINGLE_NODE_MEAN_DURATION
+        } else {
+            params::MULTI_NODE_MEAN_DURATION
+        };
+        // Exponential-ish duration, clamped to something sane.
+        let dur = mean.as_secs_f64() * (-(1.0 - rng.gen::<f64>()).ln()).clamp(0.05, 4.0);
+        JobPlan {
+            id: 0,
+            class,
+            arrival,
+            nodes,
+            untraced_duration: Duration::from_secs_f64(dur),
+            seed: rng.gen(),
+        }
+    }
+
+    /// Number of traced jobs in the plan.
+    pub fn traced_jobs(&self) -> usize {
+        self.jobs.iter().filter(|j| j.class.traced()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn full_mix(seed: u64) -> Mix {
+        Mix::plan(Scale(1.0), &mut StdRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn full_scale_counts_match_paper() {
+        let mix = full_mix(1);
+        assert_eq!(mix.jobs.len(), params::TOTAL_JOBS, "3016 jobs");
+        let single = mix.jobs.iter().filter(|j| j.nodes == 1).count();
+        // 2237 single-node jobs, modulo StatusReader's random 1-node draws.
+        assert!(
+            (single as i64 - params::SINGLE_NODE_JOBS as i64).abs() < 15,
+            "single-node jobs: {single}"
+        );
+        assert_eq!(
+            mix.traced_jobs(),
+            params::TRACED_MULTI_JOBS + params::TRACED_SINGLE_JOBS
+        );
+        assert_eq!(
+            mix.jobs
+                .iter()
+                .filter(|j| j.class == JobClass::StatusChecker)
+                .count(),
+            params::STATUS_CHECKER_RUNS
+        );
+        assert_eq!(
+            mix.jobs
+                .iter()
+                .filter(|j| j.class == JobClass::OutOfCore)
+                .count(),
+            1,
+            "exactly one out-of-core job"
+        );
+    }
+
+    #[test]
+    fn node_counts_are_powers_of_two_up_to_128() {
+        let mix = full_mix(2);
+        for j in &mix.jobs {
+            assert!(j.nodes.is_power_of_two() && j.nodes <= 128, "{:?}", j);
+        }
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_in_horizon() {
+        let mix = full_mix(3);
+        let mut last = SimTime::ZERO;
+        for j in &mix.jobs {
+            assert!(j.arrival >= last);
+            assert!(j.arrival < mix.trace_len);
+            last = j.arrival;
+        }
+    }
+
+    #[test]
+    fn planning_is_deterministic() {
+        let a = full_mix(7);
+        let b = full_mix(7);
+        for (x, y) in a.jobs.iter().zip(&b.jobs) {
+            assert_eq!(x.seed, y.seed);
+            assert_eq!(x.class, y.class);
+            assert_eq!(x.arrival, y.arrival);
+        }
+    }
+
+    #[test]
+    fn scaling_reduces_counts_proportionally() {
+        let mix = Mix::plan(Scale(0.1), &mut StdRng::seed_from_u64(4));
+        let expect = params::TOTAL_JOBS / 10;
+        assert!(
+            (mix.jobs.len() as i64 - expect as i64).abs() < 20,
+            "{} vs {}",
+            mix.jobs.len(),
+            expect
+        );
+        // Singletons survive scaling.
+        assert_eq!(
+            mix.jobs
+                .iter()
+                .filter(|j| j.class == JobClass::OutOfCore)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn offered_load_is_near_target() {
+        let mix = full_mix(5);
+        let total: f64 = mix
+            .jobs
+            .iter()
+            .map(|j| j.untraced_duration.as_secs_f64())
+            .sum();
+        let rho = total / mix.trace_len.as_secs_f64();
+        assert!(
+            (rho - params::OFFERED_LOAD).abs() < 0.3,
+            "offered load {rho}"
+        );
+    }
+
+    #[test]
+    fn multi_node_distribution_tracks_figure_2() {
+        let mix = full_mix(6);
+        let mut counts = std::collections::HashMap::new();
+        for j in mix.jobs.iter().filter(|j| {
+            matches!(j.class, JobClass::UntracedMulti | JobClass::CfdPerNode)
+        }) {
+            *counts.entry(j.nodes).or_insert(0usize) += 1;
+        }
+        // Large jobs must exist: Figure 2's "large parallel jobs dominated
+        // node usage".
+        assert!(counts.get(&128).copied().unwrap_or(0) > 10);
+        assert!(counts.get(&32).copied().unwrap_or(0) > 50);
+    }
+}

@@ -1,0 +1,157 @@
+//! Per-node op programs.
+//!
+//! An application template compiles into one [`Program`] per compute node:
+//! a straight-line list of operations the node performs. The generator's
+//! discrete-event loop interleaves the programs of all running jobs.
+
+use charisma_cfs::{Access, IoMode};
+use charisma_ipsc::Duration;
+
+/// Index into a job's file table (templates may hold several files open).
+pub type FileSlot = u16;
+
+/// One operation in a node's program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Burn CPU time.
+    Compute(Duration),
+    /// Open the job file in `slot` (paths live in the job plan).
+    Open {
+        /// Which job file to open.
+        slot: FileSlot,
+        /// Open flags.
+        access: Access,
+        /// CFS I/O mode.
+        mode: IoMode,
+        /// Truncate an existing file.
+        truncate: bool,
+    },
+    /// Reposition the node's pointer in `slot` (mode 0 only).
+    Seek {
+        /// Which open file.
+        slot: FileSlot,
+        /// Absolute target offset.
+        offset: u64,
+    },
+    /// Read `bytes` at the current (mode-resolved) position.
+    Read {
+        /// Which open file.
+        slot: FileSlot,
+        /// Request size.
+        bytes: u32,
+    },
+    /// Write `bytes` at the current (mode-resolved) position.
+    Write {
+        /// Which open file.
+        slot: FileSlot,
+        /// Request size.
+        bytes: u32,
+    },
+    /// Close the node's attachment to `slot`.
+    Close {
+        /// Which open file.
+        slot: FileSlot,
+    },
+    /// Delete the file in `slot` (a traced delete — temporaries).
+    Delete {
+        /// Which job file.
+        slot: FileSlot,
+    },
+    /// Synchronize with the job's other nodes at barrier `id`.
+    Barrier(u32),
+    /// Wait for this node's round-robin turn on `slot` before the next
+    /// request (modes 2-3 coordination).
+    AwaitTurn {
+        /// Which open file.
+        slot: FileSlot,
+    },
+}
+
+/// A node's complete program.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Program {
+    /// Operations, executed in order.
+    pub ops: Vec<Op>,
+}
+
+impl Program {
+    /// An empty program.
+    pub fn new() -> Self {
+        Program::default()
+    }
+
+    /// Append an op (builder style).
+    pub fn push(&mut self, op: Op) -> &mut Self {
+        self.ops.push(op);
+        self
+    }
+
+    /// Number of read/write requests in the program.
+    pub fn request_count(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, Op::Read { .. } | Op::Write { .. }))
+            .count()
+    }
+
+    /// Total bytes this program reads and writes `(read, written)`.
+    pub fn byte_totals(&self) -> (u64, u64) {
+        let mut r = 0u64;
+        let mut w = 0u64;
+        for op in &self.ops {
+            match op {
+                Op::Read { bytes, .. } => r += u64::from(*bytes),
+                Op::Write { bytes, .. } => w += u64::from(*bytes),
+                _ => {}
+            }
+        }
+        (r, w)
+    }
+
+    /// Whether every `Open` in the program is eventually `Close`d.
+    pub fn opens_balanced(&self) -> bool {
+        let mut open = std::collections::HashMap::new();
+        for op in &self.ops {
+            match op {
+                Op::Open { slot, .. } => *open.entry(*slot).or_insert(0i32) += 1,
+                Op::Close { slot } => *open.entry(*slot).or_insert(0) -= 1,
+                _ => {}
+            }
+        }
+        open.values().all(|&v| v == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_counters() {
+        let mut p = Program::new();
+        p.push(Op::Open {
+            slot: 0,
+            access: Access::Write,
+            mode: IoMode::Independent,
+            truncate: false,
+        });
+        p.push(Op::Write { slot: 0, bytes: 100 });
+        p.push(Op::Write { slot: 0, bytes: 50 });
+        p.push(Op::Close { slot: 0 });
+        assert_eq!(p.request_count(), 2);
+        assert_eq!(p.byte_totals(), (0, 150));
+        assert!(p.opens_balanced());
+    }
+
+    #[test]
+    fn unbalanced_opens_detected() {
+        let mut p = Program::new();
+        p.push(Op::Open {
+            slot: 3,
+            access: Access::Read,
+            mode: IoMode::Independent,
+            truncate: false,
+        });
+        assert!(!p.opens_balanced());
+    }
+}

@@ -1,0 +1,71 @@
+//! The measurement pipeline itself: drifting clocks, 4 KB record buffers,
+//! and how well postprocessing reconstructs event order.
+//!
+//! The iPSC/860 had no synchronized clocks; the paper timestamped each
+//! trace block when it left a node and when the collector received it,
+//! and fit per-node corrections. This example generates a workload on a
+//! machine with realistically bad clocks, runs the rectification, writes
+//! the trace to disk, reads it back, and quantifies the ordering quality.
+//!
+//! ```text
+//! cargo run --release --example trace_postprocess
+//! ```
+
+use charisma::trace::file::{read_trace, write_trace};
+use charisma::trace::postprocess::fit_all_clocks;
+use charisma::prelude::*;
+
+fn main() {
+    let workload = generate(GeneratorConfig {
+        scale: 0.02,
+        seed: 4994,
+        ..Default::default()
+    });
+    let trace = &workload.trace;
+    println!(
+        "collected {} blocks, {} records",
+        trace.blocks.len(),
+        trace.event_count()
+    );
+
+    // Round-trip the self-descriptive trace file format.
+    let mut bytes = Vec::new();
+    write_trace(trace, &mut bytes).expect("serialize");
+    let back = read_trace(bytes.as_slice()).expect("parse");
+    assert_eq!(&back, trace);
+    println!(
+        "trace file round-trips: {} bytes ({} bytes/record)",
+        bytes.len(),
+        bytes.len() / trace.event_count().max(1)
+    );
+
+    // Estimated clock corrections per node.
+    let fits = fit_all_clocks(trace);
+    let drifts: Vec<f64> = fits
+        .iter()
+        .map(|f| (f.b - 1.0) * 1e6) // estimated relative drift, ppm
+        .collect();
+    let max = drifts.iter().cloned().fold(0.0f64, |a, b| a.max(b.abs()));
+    println!("estimated per-node clock drifts up to {max:.1} ppm relative to the collector");
+
+    // How disordered was the raw trace, and how much does rectification
+    // help? Count adjacent inversions by true generation order proxy:
+    // block receive stamps vs record order.
+    let ordered = postprocess(trace);
+    let mut inversions = 0u64;
+    for w in ordered.windows(2) {
+        if w[1].time < w[0].time {
+            inversions += 1;
+        }
+    }
+    println!(
+        "rectified stream: {} events, {} residual timestamp inversions",
+        ordered.len(),
+        inversions
+    );
+    println!(
+        "\nThe order is still approximate — which is why the paper bases its\n\
+         analysis on spatial rather than temporal information (§3.2), and\n\
+         why this reproduction's analyses are all offset-based too."
+    );
+}

@@ -1,0 +1,63 @@
+//! # charisma
+//!
+//! A full reproduction of *"Dynamic File-Access Characteristics of a
+//! Production Parallel Scientific Workload"* (Kotz & Nieuwejaar,
+//! Supercomputing '94) — the first CHARISMA study: three weeks of
+//! file-system tracing on the 128-node Intel iPSC/860 at NASA Ames, plus
+//! trace-driven buffer-cache simulations.
+//!
+//! The original traces are proprietary, so this crate ships a calibrated
+//! synthetic substitute: a simulator of the machine and its Concurrent
+//! File System, a production job mix whose generated trace reproduces the
+//! paper's published statistics, the paper's full analysis suite, and its
+//! cache experiments. See `DESIGN.md` for the system inventory and
+//! `EXPERIMENTS.md` for paper-vs-measured results.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use charisma::prelude::*;
+//!
+//! // Generate a small workload, collect and rectify its trace...
+//! let workload = generate(GeneratorConfig::test_scale(0.01));
+//! let events = postprocess(&workload.trace);
+//!
+//! // ...and characterize it the way the paper does.
+//! let report = Report::from_events(&events);
+//! let census = charisma::core::census::census(&report.chars);
+//! assert!(census.total > 1000 && census.write_only > 0);
+//! ```
+//!
+//! ## Crate map
+//!
+//! * [`ipsc`] — the iPSC/860: hypercube, subcube allocation, drifting
+//!   clocks, message model, discrete-event queue;
+//! * [`cfs`] — the Concurrent File System: I/O modes, 4 KB striping,
+//!   disks, caches, plus the paper's recommended strided and collective
+//!   interfaces;
+//! * [`trace`] — CHARISMA trace records, collection, and clock-drift
+//!   postprocessing;
+//! * [`workload`] — the calibrated synthetic job mix and generator;
+//! * [`core`] — the workload characterization (every §4 table and figure);
+//! * [`cachesim`] — the trace-driven cache simulations (Figures 8-9 and
+//!   the combined experiment).
+
+pub use charisma_cachesim as cachesim;
+pub use charisma_cfs as cfs;
+pub use charisma_core as core;
+pub use charisma_ipsc as ipsc;
+pub use charisma_trace as trace;
+pub use charisma_workload as workload;
+
+/// The commonly used types and entry points in one import.
+pub mod prelude {
+    pub use charisma_cachesim::{
+        combined_simulation, compute_cache_sim, io_cache_sim, Policy, SessionIndex,
+    };
+    pub use charisma_cfs::{Access, Cfs, CfsConfig, IoMode, StridedSpec};
+    pub use charisma_core::report::Report;
+    pub use charisma_core::{analyze, Characterization};
+    pub use charisma_ipsc::{Machine, MachineConfig, SimTime};
+    pub use charisma_trace::{postprocess, OrderedEvent, Trace};
+    pub use charisma_workload::{generate, GeneratorConfig};
+}

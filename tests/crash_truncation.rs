@@ -1,0 +1,102 @@
+//! Failure injection: "Tracing was stopped in one of two ways: manually
+//! or by a system crash." (paper §3.1). A crash-terminated trace ends
+//! mid-stream: jobs never log their ends, sessions are left open, and the
+//! final node buffers are lost. The analysis pipeline must degrade
+//! gracefully on such traces — no panics, sane partial statistics.
+
+use charisma::cachesim::{combined_simulation, compute_cache_sim, SessionIndex};
+use charisma::core::report::Report;
+use charisma::core::{census, jobs};
+use charisma::prelude::*;
+use charisma::trace::Trace;
+
+/// Chop a trace the way a crash would: keep only blocks the collector
+/// received before `fraction` of the collection, losing everything later
+/// (including unflushed buffers, which simply never arrive).
+fn crash_truncate(trace: &Trace, fraction: f64) -> Trace {
+    let keep = ((trace.blocks.len() as f64) * fraction) as usize;
+    let mut blocks: Vec<_> = trace.blocks.clone();
+    // The collector's file is in arrival order; sort by receive stamp to
+    // model the prefix that made it to disk.
+    blocks.sort_by_key(|b| b.recv_service);
+    blocks.truncate(keep);
+    Trace {
+        header: trace.header.clone(),
+        blocks,
+    }
+}
+
+#[test]
+fn analyses_survive_a_crash_truncated_trace() {
+    let w = generate(GeneratorConfig::test_scale(0.03));
+    for fraction in [0.0, 0.1, 0.5, 0.9] {
+        let crashed = crash_truncate(&w.trace, fraction);
+        let events = postprocess(&crashed);
+        // Nothing below may panic.
+        let report = Report::from_events(&events);
+        let _ = report.render();
+        let chars = &report.chars;
+        let cen = census::census(chars);
+        assert_eq!(
+            cen.total,
+            cen.write_only + cen.read_only + cen.read_write + cen.unaccessed
+        );
+        let profile = jobs::concurrency_profile(chars);
+        let total: f64 = profile.iter().sum();
+        assert!(
+            events.is_empty() || (total - 1.0).abs() < 1e-6,
+            "profile still normalizes: {total}"
+        );
+        // Cache simulations also tolerate the fragment.
+        let index = SessionIndex::build(&events);
+        let f8 = compute_cache_sim(&events, &index, 1);
+        assert!(f8.hits <= f8.requests);
+        let comb = combined_simulation(&events, &index, 1, 4, 16);
+        assert!(comb.io_only_hit_rate >= 0.0 && comb.io_only_hit_rate <= 1.0);
+    }
+}
+
+#[test]
+fn truncation_loses_sessions_monotonically() {
+    let w = generate(GeneratorConfig::test_scale(0.03));
+    let mut last = usize::MAX;
+    for fraction in [1.0, 0.6, 0.3, 0.05] {
+        let crashed = crash_truncate(&w.trace, fraction);
+        let events = postprocess(&crashed);
+        let chars = analyze(&events);
+        assert!(
+            chars.sessions.len() <= last,
+            "fewer blocks cannot yield more sessions"
+        );
+        last = chars.sessions.len();
+    }
+    assert!(last < w.stats.sessions as usize);
+}
+
+#[test]
+fn crashed_trace_still_round_trips_the_file_format() {
+    use charisma::trace::file::{read_trace, write_trace};
+    let w = generate(GeneratorConfig::test_scale(0.02));
+    let crashed = crash_truncate(&w.trace, 0.4);
+    let mut bytes = Vec::new();
+    write_trace(&crashed, &mut bytes).expect("write");
+    assert_eq!(read_trace(bytes.as_slice()).expect("read"), crashed);
+}
+
+#[test]
+fn open_sessions_at_crash_are_visible_but_harmless() {
+    let w = generate(GeneratorConfig::test_scale(0.03));
+    let crashed = crash_truncate(&w.trace, 0.5);
+    let events = postprocess(&crashed);
+    let chars = analyze(&events);
+    // Some sessions have no close (size_at_close stays 0) — they must
+    // still classify and count without skewing temporary detection.
+    let unclosed = chars
+        .sessions
+        .values()
+        .filter(|s| s.requests() > 0 && s.size_at_close == 0)
+        .count();
+    assert!(unclosed > 0, "a crash leaves sessions open");
+    let cen = census::census(&chars);
+    assert!(cen.temporary_fraction() < 0.2);
+}

@@ -1,0 +1,183 @@
+//! Cross-crate scenarios driving the machine and CFS together through the
+//! public facade — multi-job capacity pressure, mode coordination, and
+//! the extension interfaces.
+
+use charisma::cfs::{CollectiveShare, CfsError};
+use charisma::prelude::*;
+
+fn setup() -> (Machine, Cfs) {
+    (
+        Machine::boot_synchronized(MachineConfig::nas_ipsc860()),
+        Cfs::new(CfsConfig::nas()),
+    )
+}
+
+#[test]
+fn many_jobs_share_the_file_system_without_interference() {
+    let (machine, mut cfs) = setup();
+    let t0 = SimTime::from_secs(1);
+    // Eight jobs, each with its own files, interleaved request streams.
+    let mut sessions = Vec::new();
+    for job in 0..8u32 {
+        let o = cfs
+            .open(job, &format!("job{job}/out"), Access::Write, IoMode::Independent, 0, false)
+            .expect("open");
+        sessions.push(o);
+    }
+    for round in 0..50 {
+        for (job, o) in sessions.iter().enumerate() {
+            let out = cfs
+                .write(&machine, o.session, 0, 1024, t0 + charisma::ipsc::Duration::from_millis(round))
+                .expect("write");
+            assert_eq!(out.offset, round * 1024, "job {job} pointer is private");
+        }
+    }
+    for o in &sessions {
+        assert_eq!(cfs.close(o.session, 0).expect("close"), 50 * 1024);
+    }
+}
+
+#[test]
+fn capacity_pressure_hits_no_space_and_delete_recovers() {
+    let (machine, mut cfs) = setup(); // 7.6 GB total
+    let t0 = SimTime::from_secs(1);
+    let mut files = Vec::new();
+    let mut failed = false;
+    // Write 2 GB files until the disk farm fills.
+    'outer: for i in 0..8 {
+        let o = cfs
+            .open(1, &format!("big{i}"), Access::Write, IoMode::Independent, 0, false)
+            .expect("open");
+        files.push(o.file);
+        for _ in 0..2048 {
+            match cfs.write(&machine, o.session, 0, 1 << 20, t0) {
+                Ok(_) => {}
+                Err(CfsError::NoSpace { .. }) => {
+                    failed = true;
+                    cfs.close(o.session, 0).expect("close");
+                    break 'outer;
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        cfs.close(o.session, 0).expect("close");
+    }
+    assert!(failed, "7.6 GB cannot hold 16 GB");
+    let used_before = cfs.used_bytes();
+    cfs.delete(files[0]).expect("delete");
+    assert!(cfs.used_bytes() < used_before);
+    // Space is writable again.
+    let o = cfs
+        .open(2, "after", Access::Write, IoMode::Independent, 0, false)
+        .expect("open");
+    cfs.write(&machine, o.session, 0, 1 << 20, t0).expect("write fits again");
+}
+
+#[test]
+fn mode_coordination_across_a_whole_job() {
+    let (machine, mut cfs) = setup();
+    let t0 = SimTime::from_secs(1);
+    // Mode 3: fixed-size round-robin across 4 nodes, several rounds.
+    let mut session = 0;
+    for n in 0..4 {
+        session = cfs
+            .open(9, "rr", Access::Write, IoMode::RoundRobinFixed, n, false)
+            .expect("open")
+            .session;
+    }
+    for round in 0..6u64 {
+        for n in 0..4u16 {
+            let out = cfs.write(&machine, session, n, 512, t0).expect("turn write");
+            assert_eq!(
+                out.offset,
+                (round * 4 + u64::from(n)) * 512,
+                "round-robin assigns strictly rotating offsets"
+            );
+        }
+    }
+    // A wrong-size request is rejected without corrupting the pointer.
+    assert!(matches!(
+        cfs.write(&machine, session, 0, 100, t0),
+        Err(CfsError::SizeMismatch { .. })
+    ));
+    let out = cfs.write(&machine, session, 0, 512, t0).expect("retry in turn");
+    assert_eq!(out.offset, 24 * 512);
+}
+
+#[test]
+fn strided_and_collective_interfaces_compose_with_the_machine() {
+    let (machine, mut cfs) = setup();
+    let t0 = SimTime::from_secs(1);
+    // Stage 1 MB.
+    let o = cfs
+        .open(1, "data", Access::Write, IoMode::Independent, 0, false)
+        .expect("open");
+    cfs.write(&machine, o.session, 0, 1 << 20, t0).expect("stage");
+    cfs.close(o.session, 0).expect("close");
+
+    // 4 nodes read it collectively...
+    let mut session = 0;
+    for n in 0..4 {
+        session = cfs
+            .open(2, "data", Access::Read, IoMode::Independent, n, false)
+            .expect("open")
+            .session;
+    }
+    let shares: Vec<CollectiveShare> = (0..4u16)
+        .map(|n| CollectiveShare {
+            node: n,
+            offset: u64::from(n) * (1 << 18),
+            bytes: 1 << 18,
+        })
+        .collect();
+    let col = cfs
+        .collective_read(&machine, session, &shares, t0)
+        .expect("collective");
+    assert_eq!(col.bytes, 1 << 20);
+    for n in 0..4 {
+        cfs.close(session, n).expect("close");
+    }
+
+    // ...and node 0 re-reads every 16th 256-byte record as one strided
+    // request.
+    let o2 = cfs
+        .open(3, "data", Access::Read, IoMode::Independent, 0, false)
+        .expect("open");
+    let spec = StridedSpec {
+        start: 0,
+        record_bytes: 256,
+        stride: 4096,
+        count: 256,
+    };
+    let st = cfs.read_strided(&machine, o2.session, 0, spec, t0).expect("strided");
+    assert_eq!(st.bytes, 256 * 256);
+    assert!(st.messages <= 20, "one round trip per I/O node");
+}
+
+#[test]
+fn hypercube_distances_shape_io_latency() {
+    let (machine, mut cfs) = setup();
+    let t0 = SimTime::from_secs(1);
+    let o = cfs
+        .open(1, "f", Access::Write, IoMode::Independent, 0, false)
+        .expect("open");
+    cfs.write(&machine, o.session, 0, 4096, t0).expect("seed");
+    cfs.close(o.session, 0).expect("close");
+
+    // Same read from the I/O node's neighbor vs the farthest corner: the
+    // near node must complete no later.
+    let attach = machine.io_attachment(0);
+    let near = attach as u16;
+    let far = (attach ^ 0x7F) as u16; // all 7 address bits flipped
+    let mut t_near = SimTime::ZERO;
+    let mut t_far = SimTime::ZERO;
+    for (node, out) in [(near, &mut t_near), (far, &mut t_far)] {
+        let o = cfs
+            .open(10 + u32::from(node), "f", Access::Read, IoMode::Independent, node, false)
+            .expect("open");
+        let r = cfs.read(&machine, o.session, node, 512, t0).expect("read");
+        *out = r.completion;
+        cfs.close(o.session, node).expect("close");
+    }
+    assert!(t_near <= t_far, "hop count shows up in latency");
+}

@@ -1,0 +1,143 @@
+//! Cross-crate trace integrity: the generated trace survives the file
+//! format, postprocessing is sound, and the census is a partition.
+
+use std::collections::HashMap;
+
+use charisma::core::analyze::SessionClass;
+use charisma::core::census;
+use charisma::prelude::*;
+use charisma::trace::file::{read_trace, write_trace};
+use charisma::trace::record::EventBody;
+
+fn workload() -> charisma::workload::GeneratedWorkload {
+    generate(GeneratorConfig::test_scale(0.03))
+}
+
+#[test]
+fn generated_trace_round_trips_through_the_file_format() {
+    let w = workload();
+    let mut bytes = Vec::new();
+    write_trace(&w.trace, &mut bytes).expect("write");
+    let back = read_trace(bytes.as_slice()).expect("read");
+    assert_eq!(back, w.trace);
+    assert_eq!(back.header.compute_nodes, 128);
+    assert_eq!(back.header.io_nodes, 10);
+    assert_eq!(back.header.block_bytes, 4096);
+}
+
+#[test]
+fn postprocess_preserves_every_record() {
+    let w = workload();
+    let ordered = postprocess(&w.trace);
+    assert_eq!(ordered.len(), w.trace.event_count());
+    // Sorted by (approximate) time.
+    assert!(ordered.windows(2).all(|p| p[0].time <= p[1].time));
+    // Multiset of record bodies is preserved: compare counts per tag.
+    let mut raw_tags: HashMap<u8, usize> = HashMap::new();
+    for (_, e) in w.trace.raw_events() {
+        *raw_tags.entry(e.body.tag()).or_insert(0) += 1;
+    }
+    let mut sorted_tags: HashMap<u8, usize> = HashMap::new();
+    for e in &ordered {
+        *sorted_tags.entry(e.body.tag()).or_insert(0) += 1;
+    }
+    assert_eq!(raw_tags, sorted_tags);
+}
+
+#[test]
+fn census_partitions_the_sessions() {
+    let w = workload();
+    let events = postprocess(&w.trace);
+    let chars = analyze(&events);
+    let cen = census::census(&chars);
+    assert_eq!(
+        cen.total,
+        cen.write_only + cen.read_only + cen.read_write + cen.unaccessed,
+        "the four classes partition the census"
+    );
+    assert_eq!(cen.total, chars.sessions.len());
+    // Every class matches a recount.
+    let ro = chars
+        .sessions
+        .values()
+        .filter(|s| s.class() == SessionClass::ReadOnly)
+        .count();
+    assert_eq!(ro, cen.read_only);
+}
+
+#[test]
+fn session_lifecycles_are_well_formed() {
+    let w = workload();
+    let events = postprocess(&w.trace);
+    // Every session: opened at least once, closed exactly as many times
+    // as opened (per node), and all requests carry a known session.
+    let mut open_counts: HashMap<u32, i64> = HashMap::new();
+    let mut known: std::collections::HashSet<u32> = Default::default();
+    for e in &events {
+        match e.body {
+            EventBody::Open { session, .. } => {
+                known.insert(session);
+                *open_counts.entry(session).or_insert(0) += 1;
+            }
+            EventBody::Close { session, .. } => {
+                *open_counts.entry(session).or_insert(0) -= 1;
+            }
+            EventBody::Read { session, .. } | EventBody::Write { session, .. } => {
+                assert!(known.contains(&session), "request on unknown session");
+            }
+            _ => {}
+        }
+    }
+    let unbalanced = open_counts.values().filter(|&&v| v != 0).count();
+    assert_eq!(unbalanced, 0, "opens and closes balance for every session");
+}
+
+#[test]
+fn drift_correction_beats_raw_local_timestamps() {
+    // The paper's justification for the postprocessing step: raw node
+    // timestamps misorder cross-node events; the corrected stream should
+    // misorder (strictly) fewer job windows. We measure by counting
+    // requests that fall outside their session's open..close window.
+    let w = workload();
+    let corrected = postprocess(&w.trace);
+
+    // Build a "no correction" ordering: sort by raw local timestamps.
+    let mut raw: Vec<OrderedEvent> = w
+        .trace
+        .raw_events()
+        .map(|(node, e)| OrderedEvent {
+            time: e.local_time,
+            node,
+            body: e.body,
+        })
+        .collect();
+    raw.sort_by_key(|e| e.time);
+
+    let misordered = |events: &[OrderedEvent]| -> usize {
+        let mut live: HashMap<u32, i64> = HashMap::new();
+        let mut bad = 0;
+        for e in events {
+            match e.body {
+                EventBody::Open { session, .. } => *live.entry(session).or_insert(0) += 1,
+                EventBody::Close { session, .. } => *live.entry(session).or_insert(0) -= 1,
+                EventBody::Read { session, .. } | EventBody::Write { session, .. }
+                    if live.get(&session).copied().unwrap_or(0) <= 0 => {
+                        bad += 1;
+                    }
+                _ => {}
+            }
+        }
+        bad
+    };
+    let bad_corrected = misordered(&corrected);
+    let bad_raw = misordered(&raw);
+    assert!(
+        bad_corrected <= bad_raw,
+        "correction must not make ordering worse: {bad_corrected} vs {bad_raw}"
+    );
+    assert!(
+        bad_corrected * 20 <= corrected.len(),
+        "corrected stream is mostly consistent: {bad_corrected}/{}",
+        corrected.len()
+    );
+}
