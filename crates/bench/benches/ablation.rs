@@ -16,7 +16,8 @@ fn staged() -> (Machine, Cfs, u32) {
         .open(1, "in", Access::Write, IoMode::Independent, 0, false)
         .expect("open");
     for _ in 0..4 {
-        cfs.write(&machine, o.session, 0, 1 << 20, t0).expect("stage");
+        cfs.write(&machine, o.session, 0, 1 << 20, t0)
+            .expect("stage");
     }
     cfs.close(o.session, 0).expect("close");
     (machine, cfs, 4 << 20)

@@ -23,7 +23,15 @@ fn bench_cachesim(c: &mut Criterion) {
         b.iter(|| black_box(io_cache_sim(black_box(events), index, 10, 500, Policy::Lru)))
     });
     g.bench_function("fig9_io_cache_fifo_10x50", |b| {
-        b.iter(|| black_box(io_cache_sim(black_box(events), index, 10, 500, Policy::Fifo)))
+        b.iter(|| {
+            black_box(io_cache_sim(
+                black_box(events),
+                index,
+                10,
+                500,
+                Policy::Fifo,
+            ))
+        })
     });
     g.bench_function("fig9_io_cache_ipl_10x50", |b| {
         b.iter(|| black_box(io_cache_sim(black_box(events), index, 10, 500, Policy::Ipl)))

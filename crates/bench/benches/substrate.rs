@@ -1,9 +1,7 @@
 //! Microbenches for the substrates: cache policies, hypercube routing,
 //! the subcube allocator, and the CFS request path.
 
-use charisma_cfs::{
-    Access, BlockCache, Cfs, CfsConfig, FifoCache, IoMode, IplCache, LruCache,
-};
+use charisma_cfs::{Access, BlockCache, Cfs, CfsConfig, FifoCache, IoMode, IplCache, LruCache};
 use charisma_ipsc::{Hypercube, Machine, MachineConfig, SimTime, SubcubeAllocator};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;

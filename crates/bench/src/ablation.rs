@@ -8,9 +8,7 @@
 
 use std::fmt::Write as _;
 
-use charisma_cfs::{
-    Access, Cfs, CfsConfig, CollectiveShare, IoMode, StridedSpec,
-};
+use charisma_cfs::{Access, Cfs, CfsConfig, CollectiveShare, IoMode, StridedSpec};
 use charisma_ipsc::{Machine, MachineConfig, SimTime};
 
 /// One row of the ablation table.
@@ -45,7 +43,11 @@ pub fn strided_ablation_cold(nodes: u16, record: u32, records_per_node: u32) -> 
 
 fn ablation(nodes: u16, record: u32, records_per_node: u32, cold: bool) -> Vec<AblationRow> {
     let mut rows = Vec::new();
-    for interface in ["small-request loop", "strided request", "collective request"] {
+    for interface in [
+        "small-request loop",
+        "strided request",
+        "collective request",
+    ] {
         let machine = Machine::boot_synchronized(MachineConfig::nas_ipsc860());
         let mut cfs = Cfs::new(CfsConfig::nas());
         let t0 = SimTime::from_secs(1);

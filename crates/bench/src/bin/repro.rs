@@ -103,10 +103,7 @@ fn main() {
             .iter()
             .map(|&b| ((b as f64 * scale.min(1.0)).round() as usize).max(8))
             .collect();
-        println!(
-            "{}",
-            figures::render_figure9(&p, &[1, 5, 10, 20], &buffers)
-        );
+        println!("{}", figures::render_figure9(&p, &[1, 5, 10, 20], &buffers));
     }
     if want("combined") {
         println!("{}", figures::render_combined(&p));

@@ -11,7 +11,11 @@ use crate::Pipeline;
 /// buffers.
 pub fn render_figure8(p: &Pipeline) -> String {
     let mut out = String::new();
-    writeln!(out, "== Figure 8: compute-node caching (per-job hit rates) ==").unwrap();
+    writeln!(
+        out,
+        "== Figure 8: compute-node caching (per-job hit rates) =="
+    )
+    .unwrap();
     for buffers in [1usize, 10, 50] {
         let r = p.figure8(buffers);
         let rates = r.job_hit_rates();
@@ -55,7 +59,11 @@ pub fn render_figure9(p: &Pipeline, io_nodes: &[usize], buffers: &[usize]) -> St
     writeln!(out, "== Figure 9: I/O-node caching ==").unwrap();
     let results = p.figure9(io_nodes, buffers, &[Policy::Lru, Policy::Fifo]);
     for &policy in &[Policy::Lru, Policy::Fifo] {
-        writeln!(out, "  {policy:?} hit rate (rows: I/O nodes; cols: total buffers)").unwrap();
+        writeln!(
+            out,
+            "  {policy:?} hit rate (rows: I/O nodes; cols: total buffers)"
+        )
+        .unwrap();
         let mut header = String::from("    io\\buf");
         for &b in buffers {
             write!(header, " {b:>7}").unwrap();
@@ -73,21 +81,31 @@ pub fn render_figure9(p: &Pipeline, io_nodes: &[usize], buffers: &[usize]) -> St
     // The knee: buffers needed to reach 90% (paper: LRU ~4000, FIFO ~20000,
     // at the machine's 10 I/O nodes).
     for &policy in &[Policy::Lru, Policy::Fifo] {
-        let knee = buffers.iter().find(|&&b| {
-            find(&results, 10, b, policy).hit_rate() >= 0.90
-        });
+        let knee = buffers
+            .iter()
+            .find(|&&b| find(&results, 10, b, policy).hit_rate() >= 0.90);
         writeln!(
             out,
             "  {policy:?}: 90% reached at {} total buffers (paper: {})",
-            knee.map(|b| b.to_string()).unwrap_or_else(|| "not reached".into()),
-            if policy == Policy::Lru { "~4000" } else { "~20000" }
+            knee.map(|b| b.to_string())
+                .unwrap_or_else(|| "not reached".into()),
+            if policy == Policy::Lru {
+                "~4000"
+            } else {
+                "~20000"
+            }
         )
         .unwrap();
     }
     out
 }
 
-fn find(results: &[IoCacheResult], io_nodes: usize, buffers: usize, policy: Policy) -> IoCacheResult {
+fn find(
+    results: &[IoCacheResult],
+    io_nodes: usize,
+    buffers: usize,
+    policy: Policy,
+) -> IoCacheResult {
     *results
         .iter()
         .find(|r| r.io_nodes == io_nodes && r.total_buffers == buffers && r.policy == policy)
@@ -98,7 +116,11 @@ fn find(results: &[IoCacheResult], io_nodes: usize, buffers: usize, policy: Poli
 pub fn render_combined(p: &Pipeline) -> String {
     let r = p.combined();
     let mut out = String::new();
-    writeln!(out, "== Combined compute + I/O-node caching (paper §4.8) ==").unwrap();
+    writeln!(
+        out,
+        "== Combined compute + I/O-node caching (paper §4.8) =="
+    )
+    .unwrap();
     writeln!(
         out,
         "  I/O-node hit rate, no compute cache:   {:5.1}%",
@@ -181,7 +203,11 @@ pub fn render_stackdist(p: &Pipeline) -> String {
 pub fn render_prefetch(p: &Pipeline) -> String {
     use charisma_cachesim::{prefetch_sim, Prefetcher};
     let mut out = String::new();
-    writeln!(out, "== Extension: I/O-node prefetching (paper §2.3 context) ==").unwrap();
+    writeln!(
+        out,
+        "== Extension: I/O-node prefetching (paper §2.3 context) =="
+    )
+    .unwrap();
     writeln!(
         out,
         "  {:<22} {:>9} {:>14} {:>12}",
@@ -218,7 +244,11 @@ pub fn render_prefetch(p: &Pipeline) -> String {
 pub fn render_writeback(p: &Pipeline) -> String {
     use charisma_cachesim::{writeback_sim, FlushPolicy};
     let mut out = String::new();
-    writeln!(out, "== Extension: write-behind absorption (paper §4.8 mechanism) ==").unwrap();
+    writeln!(
+        out,
+        "== Extension: write-behind absorption (paper §4.8 mechanism) =="
+    )
+    .unwrap();
     writeln!(
         out,
         "  {:<24} {:>12} {:>12} {:>11} {:>10}",
@@ -230,14 +260,21 @@ pub fn render_writeback(p: &Pipeline) -> String {
         ("write-behind", FlushPolicy::WriteBehind),
         (
             "watermark 400/100",
-            FlushPolicy::Watermark { high: 400, low: 100 },
+            FlushPolicy::Watermark {
+                high: 400,
+                low: 100,
+            },
         ),
     ] {
         let r = writeback_sim(&p.events, &p.index, 5000, policy);
         writeln!(
             out,
             "  {:<24} {:>12} {:>12} {:>10.2}x {:>10}",
-            name, r.block_writes, r.disk_writes, r.absorption(), r.peak_dirty
+            name,
+            r.block_writes,
+            r.disk_writes,
+            r.absorption(),
+            r.peak_dirty
         )
         .unwrap();
     }
@@ -328,8 +365,14 @@ pub fn render_plots(p: &Pipeline) -> String {
 
     // Figures 5-6.
     for (title, metric) in [
-        ("Figure 5: % of accesses sequential, per file", Metric::Sequential),
-        ("Figure 6: % of accesses consecutive, per file", Metric::Consecutive),
+        (
+            "Figure 5: % of accesses sequential, per file",
+            Metric::Sequential,
+        ),
+        (
+            "Figure 6: % of accesses consecutive, per file",
+            Metric::Consecutive,
+        ),
     ] {
         let cdfs = sequential::cdfs(chars, metric);
         out.push_str(&cdf_plot_percent(
@@ -380,10 +423,7 @@ pub fn render_plots(p: &Pipeline) -> String {
                 .iter()
                 .map(|&b| (b as u64, find(&results, 10, b, policy).hit_rate()))
                 .collect();
-            (
-                if policy == Policy::Lru { "LRU" } else { "FIFO" },
-                pts,
-            )
+            (if policy == Policy::Lru { "LRU" } else { "FIFO" }, pts)
         })
         .collect();
     let series_refs: Vec<(&str, &[(u64, f64)])> = series

@@ -9,7 +9,7 @@
 //! requests to read-only files participate. Hit rates are reported per
 //! job, which is what exposes the three clumps.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use charisma_cfs::{BlockCache, LruCache};
 use charisma_trace::record::EventBody;
@@ -23,7 +23,7 @@ const BLOCK: u64 = 4096;
 #[derive(Clone, Debug, Default)]
 pub struct ComputeCacheResult {
     /// Per-job `(hits, requests)` over read-only files.
-    pub per_job: HashMap<u32, (u64, u64)>,
+    pub per_job: BTreeMap<u32, (u64, u64)>,
     /// Total hits.
     pub hits: u64,
     /// Total read requests simulated.
@@ -88,7 +88,7 @@ pub fn compute_cache_sim(
 pub struct ComputeCacheSim<'a> {
     index: &'a SessionIndex,
     buffers: usize,
-    caches: HashMap<u16, LruCache>,
+    caches: BTreeMap<u16, LruCache>,
     /// The accumulated result.
     pub result: ComputeCacheResult,
 }
@@ -99,7 +99,7 @@ impl<'a> ComputeCacheSim<'a> {
         ComputeCacheSim {
             index,
             buffers,
-            caches: HashMap::new(),
+            caches: BTreeMap::new(),
             result: ComputeCacheResult::default(),
         }
     }

@@ -126,8 +126,7 @@ impl IoCacheBank {
         for b in first..=last {
             let bstart = b * BLOCK;
             let bend = bstart + BLOCK;
-            let touched =
-                ((offset + u64::from(bytes)).min(bend) - offset.max(bstart)) as u32;
+            let touched = ((offset + u64::from(bytes)).min(bend) - offset.max(bstart)) as u32;
             let io = (b % self.caches.len() as u64) as usize;
             self.block_accesses += 1;
             let resident = self.caches[io].access((file, b), touched);
@@ -229,8 +228,8 @@ pub fn io_cache_sim(
 }
 
 /// The Figure 9 sweep: hit rate for every `(io_nodes, buffers, policy)`
-/// combination. Runs are independent; they execute on a crossbeam scope so
-/// multi-core hosts sweep in parallel.
+/// combination. Runs are independent; they execute on a scoped thread pool
+/// so multi-core hosts sweep in parallel.
 pub fn sweep(
     events: &[OrderedEvent],
     index: &crate::prep::SessionIndex,
@@ -246,7 +245,7 @@ pub fn sweep(
             }
         }
     }
-    let results: Vec<IoCacheResult> = crossbeam::thread::scope(|scope| {
+    let results: Vec<IoCacheResult> = std::thread::scope(|scope| {
         let threads = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
@@ -256,7 +255,7 @@ pub fn sweep(
         let handles: Vec<_> = chunks
             .into_iter()
             .map(|chunk| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     chunk
                         .iter()
                         .map(|&(n, b, p)| io_cache_sim(events, index, n, b, p))
@@ -268,8 +267,7 @@ pub fn sweep(
             .into_iter()
             .flat_map(|h| h.join().expect("sweep thread"))
             .collect()
-    })
-    .expect("crossbeam scope");
+    });
     results
 }
 

@@ -25,13 +25,13 @@ pub mod compute;
 pub mod ionode;
 pub mod prefetch;
 pub mod prep;
-pub mod writeback;
 pub mod stackdist;
+pub mod writeback;
 
 pub use combined::{combined_simulation, CombinedResult};
 pub use compute::{compute_cache_sim, ComputeCacheResult};
 pub use ionode::{io_cache_sim, sweep, IoCacheResult, Policy};
-pub use prefetch::{prefetch_sim, Prefetcher, PrefetchResult};
+pub use prefetch::{prefetch_sim, PrefetchResult, Prefetcher};
 pub use prep::SessionIndex;
 pub use stackdist::{lru_profile, StackDistanceProfile, StackDistances};
 pub use writeback::{writeback_sim, FlushPolicy, WritebackResult};

@@ -19,7 +19,7 @@
 //! is wasted disk work; the simulator reports hits, misses, and wasted
 //! prefetches so the benefit/cost trade-off is visible.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use charisma_cfs::{BlockCache, LruCache};
 use charisma_trace::record::EventBody;
@@ -94,8 +94,8 @@ pub fn prefetch_sim(
         .map(|_| LruCache::new(buffers_per_io_node))
         .collect();
     // Blocks fetched by prefetch and not yet demanded.
-    let mut pending: HashMap<(u32, u64), ()> = HashMap::new();
-    let mut strides: HashMap<u32, StrideState> = HashMap::new();
+    let mut pending: BTreeMap<(u32, u64), ()> = BTreeMap::new();
+    let mut strides: BTreeMap<u32, StrideState> = BTreeMap::new();
     let mut out = PrefetchResult {
         prefetcher,
         hits: 0,
@@ -106,10 +106,10 @@ pub fn prefetch_sim(
     };
 
     let fetch_ahead = |caches: &mut Vec<LruCache>,
-                           pending: &mut HashMap<(u32, u64), ()>,
-                           out: &mut PrefetchResult,
-                           file: u32,
-                           block: u64| {
+                       pending: &mut BTreeMap<(u32, u64), ()>,
+                       out: &mut PrefetchResult,
+                       file: u32,
+                       block: u64| {
         let io = (block % io_nodes as u64) as usize;
         let key = (file, block);
         if caches[io].contains(key) {

@@ -7,7 +7,7 @@
 //! seen, so the simulators make one indexing pass first — the same
 //! two-pass structure a trace-driven simulator of the real data would use.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use charisma_trace::record::EventBody;
 use charisma_trace::OrderedEvent;
@@ -26,15 +26,15 @@ pub struct SessionFacts {
 /// Index of all sessions in a trace.
 #[derive(Clone, Debug, Default)]
 pub struct SessionIndex {
-    map: HashMap<u32, SessionFacts>,
+    map: BTreeMap<u32, SessionFacts>,
 }
 
 impl SessionIndex {
     /// Build the index (the first pass).
     pub fn build(events: &[OrderedEvent]) -> SessionIndex {
-        let mut map: HashMap<u32, SessionFacts> = HashMap::new();
-        let mut wrote: HashMap<u32, bool> = HashMap::new();
-        let mut read: HashMap<u32, bool> = HashMap::new();
+        let mut map: BTreeMap<u32, SessionFacts> = BTreeMap::new();
+        let mut wrote: BTreeMap<u32, bool> = BTreeMap::new();
+        let mut read: BTreeMap<u32, bool> = BTreeMap::new();
         for e in events {
             match e.body {
                 EventBody::Open {

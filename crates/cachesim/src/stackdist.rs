@@ -12,7 +12,7 @@
 //! to its node in an order-statistics tree (here a Fenwick tree over
 //! access timestamps), giving O(log n) per access.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use charisma_cfs::BlockKey;
 use charisma_trace::record::EventBody;
@@ -122,7 +122,7 @@ impl StackDistanceProfile {
 /// Streaming stack-distance computer over block accesses.
 pub struct StackDistances {
     /// block → timestamp of its last access.
-    last: HashMap<BlockKey, usize>,
+    last: BTreeMap<BlockKey, usize>,
     /// Fenwick over timestamps: 1 where a block's latest access lives.
     live: Fenwick,
     clock: usize,
@@ -137,7 +137,7 @@ impl StackDistances {
     /// the ceiling bucket as misses at any capacity ≤ max_tracked).
     pub fn new(max_tracked: usize) -> Self {
         StackDistances {
-            last: HashMap::new(),
+            last: BTreeMap::new(),
             live: Fenwick::new(1024),
             clock: 0,
             histogram: vec![0; max_tracked],
@@ -154,9 +154,13 @@ impl StackDistances {
         if let Some(&prev) = self.last.get(&key) {
             // Distinct blocks touched since prev = live stamps in (prev,
             // clock).
-            let later = self.live.prefix(self.clock.saturating_sub(1))
-                - self.live.prefix(prev);
+            let later = self.live.prefix(self.clock.saturating_sub(1)) - self.live.prefix(prev);
             let distance = later as usize + 1; // include the block itself
+            charisma_ipsc::invariant!(
+                distance <= self.last.len(),
+                "stack distance {distance} exceeds the {} distinct blocks seen",
+                self.last.len()
+            );
             if distance <= self.max_tracked {
                 self.histogram[distance - 1] += 1;
             }
@@ -292,7 +296,9 @@ mod tests {
         let mut x = 12345u64;
         let blocks: Vec<u64> = (0..4000)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (x >> 33) % 97
             })
             .collect();

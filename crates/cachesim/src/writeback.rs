@@ -18,7 +18,7 @@
 //!   flusher that cleans the oldest dirty blocks in batches, modeling a
 //!   syncer daemon that bounds the amount of dirty data at risk.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use charisma_trace::record::EventBody;
 use charisma_trace::OrderedEvent;
@@ -86,23 +86,22 @@ pub fn writeback_sim(
         peak_dirty: 0,
     };
     // Dirty set with FIFO age order (oldest first out).
-    let mut dirty: HashMap<(u32, u64), u64> = HashMap::new();
+    let mut dirty: BTreeMap<(u32, u64), u64> = BTreeMap::new();
     let mut age: VecDeque<((u32, u64), u64)> = VecDeque::new();
     let mut stamp = 0u64;
 
-    let flush_oldest =
-        |dirty: &mut HashMap<(u32, u64), u64>,
-         age: &mut VecDeque<((u32, u64), u64)>,
-         out: &mut WritebackResult| {
-            while let Some((key, s)) = age.pop_front() {
-                if dirty.get(&key) == Some(&s) {
-                    dirty.remove(&key);
-                    out.disk_writes += 1;
-                    return;
-                }
-                // Stale entry (block re-dirtied later): skip.
+    let flush_oldest = |dirty: &mut BTreeMap<(u32, u64), u64>,
+                        age: &mut VecDeque<((u32, u64), u64)>,
+                        out: &mut WritebackResult| {
+        while let Some((key, s)) = age.pop_front() {
+            if dirty.get(&key) == Some(&s) {
+                dirty.remove(&key);
+                out.disk_writes += 1;
+                return;
             }
-        };
+            // Stale entry (block re-dirtied later): skip.
+        }
+    };
 
     for e in events {
         let EventBody::Write {
@@ -232,7 +231,10 @@ mod tests {
             FlushPolicy::Watermark { high: 16, low: 4 },
         );
         assert!(r.peak_dirty <= 16);
-        assert!(r.absorption() > 4.0, "batched cleaning keeps most absorption");
+        assert!(
+            r.absorption() > 4.0,
+            "batched cleaning keeps most absorption"
+        );
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! Property tests for the cache simulators: the LRU inclusion property
 //! and accounting invariants on arbitrary traces.
 
-use charisma_cachesim::{combined_simulation, compute_cache_sim, io_cache_sim, Policy, SessionIndex};
+use charisma_cachesim::{
+    combined_simulation, compute_cache_sim, io_cache_sim, Policy, SessionIndex,
+};
 use charisma_ipsc::SimTime;
 use charisma_trace::record::{AccessKind, EventBody};
 use charisma_trace::OrderedEvent;

@@ -9,7 +9,7 @@
 //! All caches share the [`BlockCache`] interface: `access` returns whether
 //! the block was resident (a hit) and makes it resident, evicting if full.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Identity of a cached block: the file's path id and the block index.
 pub type BlockKey = (u32, u64);
@@ -48,7 +48,7 @@ pub trait BlockCache {
 #[derive(Debug)]
 pub struct LruCache {
     capacity: usize,
-    map: HashMap<BlockKey, usize>,
+    map: BTreeMap<BlockKey, usize>,
     slab: Vec<LruEntry>,
     head: usize, // most recent
     tail: usize, // least recent
@@ -69,7 +69,7 @@ impl LruCache {
     pub fn new(capacity: usize) -> Self {
         LruCache {
             capacity,
-            map: HashMap::with_capacity(capacity.min(1 << 20)),
+            map: BTreeMap::new(),
             slab: Vec::with_capacity(capacity.min(1 << 20)),
             head: NIL,
             tail: NIL,
@@ -136,6 +136,20 @@ impl BlockCache for LruCache {
         self.slab[i].key = key;
         self.push_front(i);
         self.map.insert(key, i);
+        charisma_ipsc::invariant!(
+            self.map.len() <= self.capacity,
+            "LRU holds {} blocks over capacity {}",
+            self.map.len(),
+            self.capacity
+        );
+        charisma_ipsc::invariant!(
+            self.map.is_empty() == (self.head == NIL && self.tail == NIL),
+            "LRU map and recency list disagree about emptiness"
+        );
+        charisma_ipsc::invariant!(
+            self.slab[self.head].key == key,
+            "LRU head is not the just-touched block"
+        );
         false
     }
 
@@ -169,7 +183,7 @@ impl BlockCache for LruCache {
 #[derive(Debug)]
 pub struct FifoCache {
     capacity: usize,
-    map: HashMap<BlockKey, u64>,
+    map: BTreeMap<BlockKey, u64>,
     queue: VecDeque<(BlockKey, u64)>,
     stamp: u64,
 }
@@ -179,7 +193,7 @@ impl FifoCache {
     pub fn new(capacity: usize) -> Self {
         FifoCache {
             capacity,
-            map: HashMap::with_capacity(capacity.min(1 << 20)),
+            map: BTreeMap::new(),
             queue: VecDeque::with_capacity(capacity.min(1 << 20)),
             stamp: 0,
         }
@@ -197,7 +211,9 @@ impl BlockCache for FifoCache {
         while self.map.len() >= self.capacity {
             // Pop queue entries until one is still current (invalidation
             // leaves stale queue entries behind).
-            let (victim, stamp) = self.queue.pop_front().expect("queue tracks map");
+            let Some((victim, stamp)) = self.queue.pop_front() else {
+                break; // unreachable: the queue always covers the map
+            };
             if self.map.get(&victim) == Some(&stamp) {
                 self.map.remove(&victim);
             }
@@ -205,6 +221,16 @@ impl BlockCache for FifoCache {
         self.stamp += 1;
         self.map.insert(key, self.stamp);
         self.queue.push_back((key, self.stamp));
+        charisma_ipsc::invariant!(
+            self.map.len() <= self.capacity,
+            "FIFO holds {} blocks over capacity {}",
+            self.map.len(),
+            self.capacity
+        );
+        charisma_ipsc::invariant!(
+            self.queue.len() >= self.map.len(),
+            "FIFO queue no longer covers the resident set"
+        );
         false
     }
 
@@ -242,7 +268,7 @@ impl BlockCache for FifoCache {
 #[derive(Debug)]
 pub struct IplCache {
     lru: LruCache,
-    coverage: HashMap<BlockKey, u64>,
+    coverage: BTreeMap<BlockKey, u64>,
     exhausted: Vec<BlockKey>,
     block_bytes: u64,
 }
@@ -252,7 +278,7 @@ impl IplCache {
     pub fn new(capacity: usize, block_bytes: u64) -> Self {
         IplCache {
             lru: LruCache::new(capacity),
-            coverage: HashMap::with_capacity(capacity.min(1 << 20)),
+            coverage: BTreeMap::new(),
             exhausted: Vec::new(),
             block_bytes,
         }

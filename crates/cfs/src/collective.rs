@@ -133,7 +133,8 @@ impl Cfs {
             let len = if is_write {
                 u64::from(share.bytes)
             } else {
-                size.saturating_sub(share.offset).min(u64::from(share.bytes))
+                size.saturating_sub(share.offset)
+                    .min(u64::from(share.bytes))
             };
             payload += len;
             for b in striping.blocks_of_request(share.offset, len) {

@@ -161,8 +161,7 @@ mod tests {
         let mut d = DiskState::default();
         d.serve(&m, 1, 0, 4096, SimTime::ZERO, false);
         d.serve(&m, 1, 1, 4096, SimTime::ZERO, false);
-        let expected =
-            m.service(4096, false).as_micros() + m.service(4096, true).as_micros();
+        let expected = m.service(4096, false).as_micros() + m.service(4096, true).as_micros();
         assert_eq!(d.busy_us, expected);
     }
 }

@@ -12,7 +12,7 @@
 //! the blocks are in the I/O-node cache, while the disk queue absorbs the
 //! traffic in the background — matching CFS's buffered writes.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use charisma_ipsc::{Duration, Machine, SimTime};
 
@@ -154,7 +154,7 @@ struct Session {
     /// Attach order; round-robin turn order.
     nodes: Vec<u16>,
     /// Per-node pointers (mode 0).
-    node_ptrs: HashMap<u16, u64>,
+    node_ptrs: BTreeMap<u16, u64>,
     /// Shared pointer (modes 1-3).
     shared_ptr: u64,
     /// Index into `nodes` of the node whose turn it is (modes 2-3).
@@ -171,10 +171,10 @@ pub struct Cfs {
     config: CfsConfig,
     striping: Striping,
     files: Vec<FileMeta>,
-    paths: HashMap<String, u32>,
+    paths: BTreeMap<String, u32>,
     sessions: Vec<Session>,
     /// Live (job, file) → session map, for parallel attach.
-    open_index: HashMap<(u32, u32), u32>,
+    open_index: BTreeMap<(u32, u32), u32>,
     disks: Vec<DiskState>,
     caches: Vec<LruCache>,
     used_bytes: u64,
@@ -193,9 +193,9 @@ impl Cfs {
             config,
             striping,
             files: Vec::new(),
-            paths: HashMap::new(),
+            paths: BTreeMap::new(),
             sessions: Vec::new(),
-            open_index: HashMap::new(),
+            open_index: BTreeMap::new(),
             disks,
             caches,
             used_bytes: 0,
@@ -293,7 +293,7 @@ impl Cfs {
             self.truncate_file(file);
         }
         let sid = self.sessions.len() as u32;
-        let mut node_ptrs = HashMap::new();
+        let mut node_ptrs = BTreeMap::new();
         node_ptrs.insert(node, 0u64);
         self.sessions.push(Session {
             job,
@@ -521,6 +521,18 @@ impl Cfs {
                 s.shared_ptr
             }
         };
+        charisma_ipsc::invariant!(
+            s.mode.shares_pointer() || s.shared_ptr == 0,
+            "mode-0 session {session} advanced the shared pointer"
+        );
+        charisma_ipsc::invariant!(
+            s.mode.ordered() || s.rr_turn == 0,
+            "unordered session {session} advanced the round-robin turn"
+        );
+        charisma_ipsc::invariant!(
+            s.mode.fixed_size() || s.fixed_size.is_none(),
+            "session {session} pinned a request size outside mode 3"
+        );
         Ok((s.file, offset))
     }
 
@@ -584,9 +596,7 @@ impl Cfs {
             self.stats.messages += 2;
             return (now + rtt, 2, 0, 0);
         }
-        let touches: Vec<(u64, u32)> = range
-            .map(|b| (b, block_overlap(offset, len, b)))
-            .collect();
+        let touches: Vec<(u64, u32)> = range.map(|b| (b, block_overlap(offset, len, b))).collect();
         self.serve_block_list(machine, node, file, &touches, now, is_write)
     }
 
@@ -660,8 +670,7 @@ impl Cfs {
             if engaged {
                 // Reply message carries the data (reads) or the ack (writes).
                 let reply_bytes = if is_write { 32 } else { io_bytes.max(32) };
-                let done =
-                    io_done + machine.io_message_latency(node as usize, io, reply_bytes);
+                let done = io_done + machine.io_message_latency(node as usize, io, reply_bytes);
                 messages += 1;
                 completion = completion.max(done);
             }
@@ -677,11 +686,7 @@ impl Cfs {
         session: u32,
     ) -> Result<(u32, IoMode, (bool, bool)), CfsError> {
         let s = self.session(session)?;
-        Ok((
-            s.file,
-            s.mode,
-            (s.access.can_read(), s.access.can_write()),
-        ))
+        Ok((s.file, s.mode, (s.access.can_read(), s.access.can_write())))
     }
 
     /// Extend a file for an extension-interface write.

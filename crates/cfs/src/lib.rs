@@ -27,16 +27,16 @@ pub mod disk;
 pub mod error;
 pub mod fs;
 pub mod mode;
-pub mod stripe;
 pub mod strided;
+pub mod stripe;
 
 pub use cache::{BlockCache, BlockKey, FifoCache, IplCache, LruCache};
+pub use collective::{CollectiveOutcome, CollectiveShare};
 pub use disk::{DiskModel, DiskState};
 pub use error::CfsError;
 pub use fs::{Access, Cfs, CfsConfig, CfsStats, IoOutcome, OpenResult};
-pub use strided::StridedSpec;
-pub use collective::{CollectiveOutcome, CollectiveShare};
 pub use mode::IoMode;
+pub use strided::StridedSpec;
 pub use stripe::Striping;
 
 /// The CFS file-system block size: "CFS stripes each file across all disks

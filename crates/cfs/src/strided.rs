@@ -361,12 +361,26 @@ mod tests {
                 count,
             };
             let o1 = fs
-                .open(10 + count, "in.dat", Access::Read, IoMode::Independent, 0, false)
+                .open(
+                    10 + count,
+                    "in.dat",
+                    Access::Read,
+                    IoMode::Independent,
+                    0,
+                    false,
+                )
                 .unwrap();
             let s = fs.read_strided(&m, o1.session, 0, spec, t0()).unwrap();
             fs.close(o1.session, 0).unwrap();
             let o2 = fs
-                .open(20 + count, "in.dat", Access::Read, IoMode::Independent, 0, false)
+                .open(
+                    20 + count,
+                    "in.dat",
+                    Access::Read,
+                    IoMode::Independent,
+                    0,
+                    false,
+                )
                 .unwrap();
             let l = fs
                 .strided_as_loop(&m, o2.session, 0, spec, t0(), false)

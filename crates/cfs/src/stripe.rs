@@ -45,7 +45,13 @@ impl Striping {
             let b = self.block_of(offset);
             return b..b;
         }
-        self.block_of(offset)..self.block_of(offset + bytes - 1) + 1
+        let range = self.block_of(offset)..self.block_of(offset + bytes - 1) + 1;
+        charisma_ipsc::invariant!(
+            range.start * self.block_bytes <= offset
+                && offset + bytes <= range.end * self.block_bytes,
+            "block range {range:?} does not cover request at {offset}+{bytes}"
+        );
+        range
     }
 
     /// Number of distinct blocks touched by a request.

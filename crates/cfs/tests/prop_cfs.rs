@@ -3,8 +3,8 @@
 
 use charisma_cfs::fs::block_overlap;
 use charisma_cfs::{
-    Access, BlockCache, Cfs, CfsConfig, FifoCache, IoMode, IplCache, LruCache, Striping,
-    StridedSpec, BLOCK_BYTES,
+    Access, BlockCache, Cfs, CfsConfig, FifoCache, IoMode, IplCache, LruCache, StridedSpec,
+    Striping, BLOCK_BYTES,
 };
 use charisma_ipsc::{Machine, MachineConfig, SimTime};
 use proptest::prelude::*;

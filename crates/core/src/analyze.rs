@@ -415,15 +415,60 @@ mod tests {
     #[test]
     fn classifies_sessions() {
         let events = vec![
-            ev(0, u16::MAX, EventBody::JobStart { job: 1, nodes: 2, traced: true }),
+            ev(
+                0,
+                u16::MAX,
+                EventBody::JobStart {
+                    job: 1,
+                    nodes: 2,
+                    traced: true,
+                },
+            ),
             ev(1, 0, open(1, 10, 100, AccessKind::Read)),
-            ev(2, 0, EventBody::Read { session: 100, offset: 0, bytes: 100 }),
-            ev(3, 0, EventBody::Close { session: 100, size: 500 }),
+            ev(
+                2,
+                0,
+                EventBody::Read {
+                    session: 100,
+                    offset: 0,
+                    bytes: 100,
+                },
+            ),
+            ev(
+                3,
+                0,
+                EventBody::Close {
+                    session: 100,
+                    size: 500,
+                },
+            ),
             ev(4, 1, open(1, 11, 101, AccessKind::Write)),
-            ev(5, 1, EventBody::Write { session: 101, offset: 0, bytes: 64 }),
-            ev(6, 1, EventBody::Close { session: 101, size: 64 }),
+            ev(
+                5,
+                1,
+                EventBody::Write {
+                    session: 101,
+                    offset: 0,
+                    bytes: 64,
+                },
+            ),
+            ev(
+                6,
+                1,
+                EventBody::Close {
+                    session: 101,
+                    size: 64,
+                },
+            ),
             ev(7, 0, open(1, 12, 102, AccessKind::ReadWrite)),
-            ev(8, 0, EventBody::Close { session: 102, size: 0 }),
+            ev(
+                8,
+                0,
+                EventBody::Close {
+                    session: 102,
+                    size: 0,
+                },
+            ),
             ev(9, u16::MAX, EventBody::JobEnd { job: 1 }),
         ];
         let c = analyze(&events);
@@ -440,11 +485,51 @@ mod tests {
         let events = vec![
             ev(1, 0, open(1, 1, 1, AccessKind::Read)),
             // consecutive, consecutive, gap forward, backward.
-            ev(2, 0, EventBody::Read { session: 1, offset: 0, bytes: 100 }),
-            ev(3, 0, EventBody::Read { session: 1, offset: 100, bytes: 100 }),
-            ev(4, 0, EventBody::Read { session: 1, offset: 200, bytes: 100 }),
-            ev(5, 0, EventBody::Read { session: 1, offset: 500, bytes: 100 }),
-            ev(6, 0, EventBody::Read { session: 1, offset: 0, bytes: 100 }),
+            ev(
+                2,
+                0,
+                EventBody::Read {
+                    session: 1,
+                    offset: 0,
+                    bytes: 100,
+                },
+            ),
+            ev(
+                3,
+                0,
+                EventBody::Read {
+                    session: 1,
+                    offset: 100,
+                    bytes: 100,
+                },
+            ),
+            ev(
+                4,
+                0,
+                EventBody::Read {
+                    session: 1,
+                    offset: 200,
+                    bytes: 100,
+                },
+            ),
+            ev(
+                5,
+                0,
+                EventBody::Read {
+                    session: 1,
+                    offset: 500,
+                    bytes: 100,
+                },
+            ),
+            ev(
+                6,
+                0,
+                EventBody::Read {
+                    session: 1,
+                    offset: 0,
+                    bytes: 100,
+                },
+            ),
         ];
         let c = analyze(&events);
         let s = &c.sessions[&1];
@@ -464,10 +549,42 @@ mod tests {
             ev(1, 0, open(1, 1, 1, AccessKind::Read)),
             ev(1, 1, open(1, 1, 1, AccessKind::Read)),
             // Interleaved: node 0 at 0,1024; node 1 at 512,1536.
-            ev(2, 0, EventBody::Read { session: 1, offset: 0, bytes: 512 }),
-            ev(3, 1, EventBody::Read { session: 1, offset: 512, bytes: 512 }),
-            ev(4, 0, EventBody::Read { session: 1, offset: 1024, bytes: 512 }),
-            ev(5, 1, EventBody::Read { session: 1, offset: 1536, bytes: 512 }),
+            ev(
+                2,
+                0,
+                EventBody::Read {
+                    session: 1,
+                    offset: 0,
+                    bytes: 512,
+                },
+            ),
+            ev(
+                3,
+                1,
+                EventBody::Read {
+                    session: 1,
+                    offset: 512,
+                    bytes: 512,
+                },
+            ),
+            ev(
+                4,
+                0,
+                EventBody::Read {
+                    session: 1,
+                    offset: 1024,
+                    bytes: 512,
+                },
+            ),
+            ev(
+                5,
+                1,
+                EventBody::Read {
+                    session: 1,
+                    offset: 1536,
+                    bytes: 512,
+                },
+            ),
         ];
         let c = analyze(&events);
         let s = &c.sessions[&1];
@@ -497,11 +614,33 @@ mod tests {
     fn temporary_detection() {
         let events = vec![
             ev(1, 0, open(1, 7, 1, AccessKind::ReadWrite)),
-            ev(2, 0, EventBody::Write { session: 1, offset: 0, bytes: 10 }),
-            ev(3, 0, EventBody::Close { session: 1, size: 10 }),
+            ev(
+                2,
+                0,
+                EventBody::Write {
+                    session: 1,
+                    offset: 0,
+                    bytes: 10,
+                },
+            ),
+            ev(
+                3,
+                0,
+                EventBody::Close {
+                    session: 1,
+                    size: 10,
+                },
+            ),
             ev(4, 0, EventBody::Delete { job: 1, file: 7 }),
             ev(5, 0, open(2, 8, 2, AccessKind::ReadWrite)),
-            ev(6, 0, EventBody::Close { session: 2, size: 0 }),
+            ev(
+                6,
+                0,
+                EventBody::Close {
+                    session: 2,
+                    size: 0,
+                },
+            ),
             ev(7, 0, EventBody::Delete { job: 9, file: 8 }),
         ];
         let c = analyze(&events);

@@ -155,7 +155,7 @@ mod tests {
         let mut events = Vec::new();
         events.extend(reads(1, 0, &[(0, 100), (100, 100)])); // one size
         events.extend(reads(2, 0, &[(0, 100), (100, 37)])); // two sizes
-        // sid 3: opened but unaccessed → 0 sizes.
+                                                            // sid 3: opened but unaccessed → 0 sizes.
         events.extend(reads(3, 0, &[]));
         let c = analyze(&events);
         let t = request_size_table(&c);

@@ -137,7 +137,15 @@ mod tests {
     fn job_events(job: u32, sid: u32, writes: u64, bytes_each: u32) -> Vec<OrderedEvent> {
         let base = u64::from(job) * 1000;
         let mut events = vec![
-            ev(base, u16::MAX, EventBody::JobStart { job, nodes: 4, traced: true }),
+            ev(
+                base,
+                u16::MAX,
+                EventBody::JobStart {
+                    job,
+                    nodes: 4,
+                    traced: true,
+                },
+            ),
             ev(
                 base + 1,
                 0,

@@ -79,10 +79,30 @@ impl Report {
         let cen = census::census(&self.chars);
         writeln!(out, "== Files (paper §4.2) ==").unwrap();
         writeln!(out, "  opens            {:>7}   (paper ~64,000)", cen.total).unwrap();
-        writeln!(out, "  write-only       {:>7}   (paper 44,500)", cen.write_only).unwrap();
-        writeln!(out, "  read-only        {:>7}   (paper 14,500)", cen.read_only).unwrap();
-        writeln!(out, "  read-write       {:>7}   (paper <2,300)", cen.read_write).unwrap();
-        writeln!(out, "  unaccessed       {:>7}   (paper ~2,500)", cen.unaccessed).unwrap();
+        writeln!(
+            out,
+            "  write-only       {:>7}   (paper 44,500)",
+            cen.write_only
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "  read-only        {:>7}   (paper 14,500)",
+            cen.read_only
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "  read-write       {:>7}   (paper <2,300)",
+            cen.read_write
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "  unaccessed       {:>7}   (paper ~2,500)",
+            cen.unaccessed
+        )
+        .unwrap();
         writeln!(
             out,
             "  temporary        {:>6.2}%   (paper 0.61%)",
@@ -148,14 +168,18 @@ impl Report {
         writeln!(out, "== Sequentiality (paper §4.4, Figures 5-6) ==").unwrap();
         let seq = sequential::cdfs(&self.chars, Metric::Sequential);
         let con = sequential::cdfs(&self.chars, Metric::Consecutive);
-        writeln!(out, "  fully sequential:  RO {:5.1}%  WO {:5.1}%  RW {:5.1}%",
+        writeln!(
+            out,
+            "  fully sequential:  RO {:5.1}%  WO {:5.1}%  RW {:5.1}%",
             100.0 * seq.fully(SessionClass::ReadOnly),
             100.0 * seq.fully(SessionClass::WriteOnly),
             100.0 * seq.fully(SessionClass::ReadWrite),
         )
         .unwrap();
         writeln!(out, "    (paper: RO and WO mostly 100%; RW mostly not)").unwrap();
-        writeln!(out, "  fully consecutive: RO {:5.1}%  WO {:5.1}%  RW {:5.1}%",
+        writeln!(
+            out,
+            "  fully consecutive: RO {:5.1}%  WO {:5.1}%  RW {:5.1}%",
             100.0 * con.fully(SessionClass::ReadOnly),
             100.0 * con.fully(SessionClass::WriteOnly),
             100.0 * con.fully(SessionClass::ReadWrite),

@@ -278,8 +278,22 @@ mod tests {
             },
         ));
         events.push(read(2, 1, 0, 100, 6));
-        events.push(ev(10, 0, EventBody::Close { session: 1, size: 100 }));
-        events.push(ev(20, 1, EventBody::Close { session: 2, size: 100 }));
+        events.push(ev(
+            10,
+            0,
+            EventBody::Close {
+                session: 1,
+                size: 100,
+            },
+        ));
+        events.push(ev(
+            20,
+            1,
+            EventBody::Close {
+                session: 2,
+                size: 100,
+            },
+        ));
         let c = analyze(&events);
         assert_eq!(concurrent_interjob_shares(&c), 1);
     }

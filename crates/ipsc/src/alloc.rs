@@ -84,13 +84,29 @@ impl SubcubeAllocator {
         }
         // Find the smallest free subcube of dimension >= dim.
         let k = (dim..=self.machine_dim).find(|&k| !self.free[k as usize].is_empty())?;
-        let base = *self.free[k as usize].iter().next().expect("nonempty");
+        let base = *self.free[k as usize].iter().next()?;
         self.free[k as usize].remove(&base);
         // Split down to the requested size, freeing the upper buddies.
         for split in (dim..k).rev() {
             self.free[split as usize].insert(base + (1usize << split));
         }
+        crate::invariant!(
+            self.allocated
+                .iter()
+                .all(|&(b, d)| { base + (1usize << dim) <= b || b + (1usize << d) <= base }),
+            "subcube base {base} dim {dim} overlaps a live allocation"
+        );
         self.allocated.insert((base, dim));
+        crate::invariant!(
+            self.free_nodes()
+                + self
+                    .allocated
+                    .iter()
+                    .map(|&(_, d)| 1usize << d)
+                    .sum::<usize>()
+                == self.machine_nodes(),
+            "free + allocated nodes no longer cover the machine"
+        );
         Some(Subcube { base, dim })
     }
 
@@ -205,7 +221,7 @@ mod tests {
         let mut a = SubcubeAllocator::new(3);
         let _c0 = a.allocate(0).unwrap(); // takes node 0
         let _c1 = a.allocate(2).unwrap(); // takes 4..8
-        // Nodes 1, 2, 3 are free, but no aligned 4-node cube exists.
+                                          // Nodes 1, 2, 3 are free, but no aligned 4-node cube exists.
         assert_eq!(a.free_nodes(), 3);
         assert!(a.allocate(3).is_none());
         assert!(a.allocate(2).is_none());

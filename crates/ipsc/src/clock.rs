@@ -37,6 +37,14 @@ impl DriftClock {
 
     /// Create a clock with the given drift (ppm) and boot offset (µs).
     pub fn new(drift_ppm: f64, offset_us: f64) -> Self {
+        crate::invariant!(
+            drift_ppm.is_finite() && drift_ppm.abs() <= 1000.0,
+            "drift {drift_ppm} ppm is outside the crystal-oscillator model"
+        );
+        crate::invariant!(
+            offset_us.is_finite(),
+            "boot offset {offset_us} us is not finite"
+        );
         DriftClock {
             drift_ppm,
             offset_us,
@@ -45,8 +53,7 @@ impl DriftClock {
 
     /// The local timestamp this node's clock shows at true time `t`.
     pub fn local_time(&self, t: SimTime) -> SimTime {
-        let skewed =
-            self.offset_us + t.as_micros() as f64 * (1.0 + self.drift_ppm * 1e-6);
+        let skewed = self.offset_us + t.as_micros() as f64 * (1.0 + self.drift_ppm * 1e-6);
         SimTime::from_micros(skewed.max(0.0).round() as u64)
     }
 
@@ -54,8 +61,7 @@ impl DriftClock {
     /// `local`. Exact up to rounding; used by tests and by an oracle for the
     /// trace postprocessing (which only gets to *estimate* the model).
     pub fn true_time(&self, local: SimTime) -> SimTime {
-        let t = (local.as_micros() as f64 - self.offset_us)
-            / (1.0 + self.drift_ppm * 1e-6);
+        let t = (local.as_micros() as f64 - self.offset_us) / (1.0 + self.drift_ppm * 1e-6);
         SimTime::from_micros(t.max(0.0).round() as u64)
     }
 }

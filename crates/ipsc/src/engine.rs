@@ -16,6 +16,8 @@ use crate::time::SimTime;
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     seq: u64,
+    #[cfg(feature = "invariants")]
+    last_popped: Option<SimTime>,
 }
 
 #[derive(Debug)]
@@ -53,6 +55,8 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::new(),
             seq: 0,
+            #[cfg(feature = "invariants")]
+            last_popped: None,
         }
     }
 
@@ -68,7 +72,18 @@ impl<E> EventQueue<E> {
 
     /// Remove and return the earliest event, with its time.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|e| ((e.key.0).0, e.event))
+        let e = self.heap.pop()?;
+        let at = (e.key.0).0;
+        #[cfg(feature = "invariants")]
+        {
+            crate::invariant!(
+                self.last_popped.is_none_or(|prev| prev <= at),
+                "event queue went backward: popped {at} after {:?}",
+                self.last_popped
+            );
+            self.last_popped = Some(at);
+        }
+        Some((at, e.event))
     }
 
     /// The time of the earliest pending event.

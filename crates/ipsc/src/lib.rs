@@ -24,6 +24,7 @@
 pub mod alloc;
 pub mod clock;
 pub mod engine;
+pub mod invariant;
 pub mod machine;
 pub mod message;
 pub mod time;

@@ -185,7 +185,9 @@ impl Machine {
     pub fn service_message_latency(&self, src: NodeId, bytes: u64) -> Duration {
         // The service node also hangs off a compute node; use address 0.
         let msg = Message { src, dst: 0, bytes };
-        self.config.network.latency(&msg, self.cube.distance(src, 0) + 1)
+        self.config
+            .network
+            .latency(&msg, self.cube.distance(src, 0) + 1)
     }
 }
 

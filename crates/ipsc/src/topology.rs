@@ -73,7 +73,10 @@ impl Hypercube {
     /// Dimensions are corrected in ascending order, so the route is unique
     /// and deterministic — as on the real machine's wormhole router.
     pub fn ecube_route(self, src: usize, dst: usize) -> Vec<usize> {
-        assert!(self.contains(src) && self.contains(dst), "node outside cube");
+        assert!(
+            self.contains(src) && self.contains(dst),
+            "node outside cube"
+        );
         let mut route = Vec::with_capacity(self.distance(src, dst) as usize + 1);
         let mut cur = src;
         route.push(cur);

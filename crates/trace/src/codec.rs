@@ -208,7 +208,7 @@ pub fn decode_event(buf: &mut &[u8]) -> Result<Event, DecodeError> {
 
 /// Encoded size of one event, in bytes (used to model the 4 KB node buffer).
 pub fn encoded_len(e: &Event) -> usize {
-    9 + payload_len(e.body.tag()).expect("tag is valid by construction")
+    9 + e.body.payload_len()
 }
 
 /// Bytes of payload following the 9-byte (tag + timestamp) prefix, per
@@ -216,12 +216,12 @@ pub fn encoded_len(e: &Event) -> usize {
 /// size its reads.
 pub fn payload_len(tag: u8) -> Option<usize> {
     match tag {
-        1 => Some(7),  // JobStart: job u32 + nodes u16 + traced u8
-        2 => Some(4),  // JobEnd: job u32
-        3 => Some(15), // Open: job + file + session + mode + access + created
-        4 => Some(12), // Close: session u32 + size u64
+        1 => Some(7),      // JobStart: job u32 + nodes u16 + traced u8
+        2 => Some(4),      // JobEnd: job u32
+        3 => Some(15),     // Open: job + file + session + mode + access + created
+        4 => Some(12),     // Close: session u32 + size u64
         5 | 6 => Some(16), // Read/Write: session u32 + offset u64 + bytes u32
-        7 => Some(8),  // Delete: job u32 + file u32
+        7 => Some(8),      // Delete: job u32 + file u32
         _ => None,
     }
 }

@@ -156,10 +156,7 @@ mod tests {
         let mut bytes = Vec::new();
         write_trace(&t, &mut bytes).unwrap();
         for cut in [10, bytes.len() / 2, bytes.len() - 1] {
-            assert!(
-                read_trace(&bytes[..cut]).is_err(),
-                "cut at {cut} must fail"
-            );
+            assert!(read_trace(&bytes[..cut]).is_err(), "cut at {cut} must fail");
         }
     }
 
@@ -228,7 +225,9 @@ impl<R: Read> TraceStream<R> {
         }
         self.blocks_left -= 1;
         let mut head = [0u8; 2 + 8 + 8 + 4];
-        self.reader.read_exact(&mut head).map_err(TraceFileError::Io)?;
+        self.reader
+            .read_exact(&mut head)
+            .map_err(TraceFileError::Io)?;
         let mut slice = &head[..];
         let node = slice.get_u16_le();
         let send_local = SimTime::from_micros(slice.get_u64_le());
@@ -241,7 +240,9 @@ impl<R: Read> TraceStream<R> {
         for _ in 0..count {
             // Tag + timestamp first, then the tag-dependent payload.
             let mut fixed = [0u8; 9];
-            self.reader.read_exact(&mut fixed).map_err(TraceFileError::Io)?;
+            self.reader
+                .read_exact(&mut fixed)
+                .map_err(TraceFileError::Io)?;
             let payload_len = codec::payload_len(fixed[0]).ok_or(DecodeError::BadTag(fixed[0]))?;
             buf.clear();
             buf.extend_from_slice(&fixed);
@@ -331,6 +332,8 @@ mod stream_tests {
 
     #[test]
     fn stream_rejects_bad_header() {
-        assert!(TraceStream::open(&b"definitely not a trace file...................."[..]).is_err());
+        assert!(
+            TraceStream::open(&b"definitely not a trace file...................."[..]).is_err()
+        );
     }
 }

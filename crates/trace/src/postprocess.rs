@@ -167,10 +167,7 @@ mod tests {
     fn fit_single_point_is_offset_only() {
         let fit = fit_clock(&[(SimTime::from_secs(10), SimTime::from_secs(11))]);
         assert_eq!(fit.b, 1.0);
-        assert_eq!(
-            fit.correct(SimTime::from_secs(10)),
-            SimTime::from_secs(11)
-        );
+        assert_eq!(fit.correct(SimTime::from_secs(10)), SimTime::from_secs(11));
     }
 
     #[test]
@@ -184,7 +181,10 @@ mod tests {
     fn postprocess_restores_cross_node_order() {
         // Two nodes with strong opposite drifts interleave writes; raw trace
         // order (by arrival) and local timestamps disagree with true order.
-        let clocks = vec![DriftClock::new(90.0, 4000.0), DriftClock::new(-90.0, -4000.0)];
+        let clocks = vec![
+            DriftClock::new(90.0, 4000.0),
+            DriftClock::new(-90.0, -4000.0),
+        ];
         let mut b = TraceBuilder::new(
             header(2),
             clocks,
@@ -218,11 +218,7 @@ mod tests {
             .collect();
         // The estimated order should match the true order almost everywhere
         // (the paper only claims a "closer approximation").
-        let misplaced = sessions
-            .iter()
-            .zip(&truth)
-            .filter(|(a, b)| a != b)
-            .count();
+        let misplaced = sessions.iter().zip(&truth).filter(|(a, b)| a != b).count();
         assert!(
             misplaced * 20 <= sessions.len(),
             "{misplaced}/{} events misordered",

@@ -146,6 +146,20 @@ impl EventBody {
             EventBody::Delete { .. } => 7,
         }
     }
+
+    /// Bytes of payload following the 9-byte (tag + timestamp) prefix.
+    /// Total by construction, unlike [`crate::codec::payload_len`] which
+    /// must handle arbitrary on-disk tags.
+    pub fn payload_len(&self) -> usize {
+        match self {
+            EventBody::JobStart { .. } => 7,
+            EventBody::JobEnd { .. } => 4,
+            EventBody::Open { .. } => 15,
+            EventBody::Close { .. } => 12,
+            EventBody::Read { .. } | EventBody::Write { .. } => 16,
+            EventBody::Delete { .. } => 8,
+        }
+    }
 }
 
 /// One record: when (on the recording node's own drifting clock) and what.
@@ -209,7 +223,10 @@ mod tests {
                 access: AccessKind::Read,
                 created: false,
             },
-            EventBody::Close { session: 0, size: 0 },
+            EventBody::Close {
+                session: 0,
+                size: 0,
+            },
             EventBody::Read {
                 session: 0,
                 offset: 0,

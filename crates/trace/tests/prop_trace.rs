@@ -4,15 +4,14 @@ use charisma_ipsc::{DriftClock, Duration, SimTime};
 use charisma_trace::builder::TraceBuilder;
 use charisma_trace::codec;
 use charisma_trace::file::{read_trace, write_trace};
-use charisma_trace::record::{AccessKind, Event, EventBody, TraceHeader};
 use charisma_trace::postprocess::postprocess;
+use charisma_trace::record::{AccessKind, Event, EventBody, TraceHeader};
 use proptest::prelude::*;
 
 fn arb_body() -> impl Strategy<Value = EventBody> {
     prop_oneof![
-        (any::<u32>(), any::<u16>(), any::<bool>()).prop_map(|(job, nodes, traced)| {
-            EventBody::JobStart { job, nodes, traced }
-        }),
+        (any::<u32>(), any::<u16>(), any::<bool>())
+            .prop_map(|(job, nodes, traced)| { EventBody::JobStart { job, nodes, traced } }),
         any::<u32>().prop_map(|job| EventBody::JobEnd { job }),
         (
             any::<u32>(),
@@ -30,10 +29,7 @@ fn arb_body() -> impl Strategy<Value = EventBody> {
                 access: AccessKind::from_code(acc).expect("0..3"),
                 created,
             }),
-        (any::<u32>(), any::<u64>()).prop_map(|(session, size)| EventBody::Close {
-            session,
-            size
-        }),
+        (any::<u32>(), any::<u64>()).prop_map(|(session, size)| EventBody::Close { session, size }),
         (any::<u32>(), any::<u64>(), any::<u32>()).prop_map(|(session, offset, bytes)| {
             EventBody::Read {
                 session,

@@ -1,0 +1,24 @@
+// Fixture: CH001 must stay quiet on ordered containers, on mentions in
+// comments and strings, and on hash containers confined to test code.
+// A HashMap mentioned in a comment is not a violation.
+use std::collections::BTreeMap;
+
+pub fn tally(xs: &[u32]) -> BTreeMap<u32, u32> {
+    let msg = "HashMap is only named inside this string literal";
+    let _ = msg;
+    let mut counts = BTreeMap::new();
+    for &x in xs {
+        *counts.entry(x).or_insert(0u32) += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scratch_space_may_hash() {
+        let mut scratch = std::collections::HashMap::new();
+        scratch.insert(1, 2);
+        assert_eq!(scratch.len(), 1);
+    }
+}

@@ -1,0 +1,13 @@
+// Fixture: CH001 must fire on hash containers in library code.
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub fn tally(xs: &[u32]) -> usize {
+    let mut seen: HashSet<u32> = HashSet::new();
+    let mut counts: HashMap<u32, u32> = HashMap::new();
+    for &x in xs {
+        seen.insert(x);
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    seen.len() + counts.len()
+}

@@ -1,0 +1,6 @@
+// Fixture: CH002 must stay quiet when as_secs_f64 is used for reporting
+// and when integer microseconds are compared.
+pub fn report(now: SimTime, deadline: SimTime) -> String {
+    let late = now.as_micros() > deadline.as_micros();
+    format!("t={}s late={late}", now.as_secs_f64())
+}

@@ -1,0 +1,4 @@
+// Fixture: CH002 must fire on raw f64 comparison of simulation times.
+pub fn deadline_passed(now: SimTime, deadline: SimTime) -> bool {
+    now.as_secs_f64() > deadline.as_secs_f64()
+}

@@ -1,0 +1,16 @@
+// Fixture: CH003 must stay quiet on typed errors, on test-only panics, and
+// on idents that merely embed the words (unwrap_or, expected).
+pub fn first(xs: &[u32]) -> Result<u32, &'static str> {
+    let fallback = xs.len().checked_sub(1).unwrap_or(0);
+    let _ = fallback;
+    xs.first().copied().ok_or("empty input")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let expected = super::first(&[7]).unwrap();
+        assert_eq!(expected, 7);
+    }
+}

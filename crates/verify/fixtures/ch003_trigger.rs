@@ -1,0 +1,9 @@
+// Fixture: CH003 must count every panicking call in library code.
+pub fn first_three(xs: &[u32]) -> (u32, u32, u32) {
+    let a = xs.first().unwrap();
+    let b = xs.get(1).expect("need a second element");
+    let Some(c) = xs.get(2) else {
+        panic!("need a third element");
+    };
+    (*a, *b, *c)
+}

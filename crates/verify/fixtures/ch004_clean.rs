@@ -1,0 +1,7 @@
+// Fixture: CH004 must stay quiet on explicitly seeded generators and on
+// simulation time.
+pub fn jitter(seed: u64) -> u64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let at = SimTime::from_micros(rng.next_u64() % 1000);
+    at.as_micros()
+}

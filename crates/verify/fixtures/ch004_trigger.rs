@@ -1,0 +1,8 @@
+// Fixture: CH004 must fire on wall clocks and ambient entropy.
+pub fn stamp() -> u128 {
+    let t0 = std::time::Instant::now();
+    let wall = std::time::SystemTime::now();
+    let mut rng = rand::thread_rng();
+    let _ = (t0, wall, &mut rng);
+    0
+}

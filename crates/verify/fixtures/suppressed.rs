@@ -1,0 +1,7 @@
+// Fixture: an inline allow directive silences exactly the named rule on
+// exactly that line.
+use std::collections::HashMap; // charisma-verify: allow(CH001, interned upstream type alias)
+
+pub fn make() -> HashMap<u32, u32> {
+    HashMap::new()
+}

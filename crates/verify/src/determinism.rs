@@ -1,0 +1,163 @@
+//! End-to-end determinism harness.
+//!
+//! `charisma-verify determinism` runs the full workload→simulate→trace
+//! pipeline twice with the same seed and compares a streaming hash of every
+//! emitted record — the raw per-node trace stream *and* the postprocessed
+//! (clock-rectified, globally ordered) stream. Any divergence is localized
+//! to the first differing record, which is usually enough to name the
+//! offending `HashMap` iteration or unseeded RNG.
+//!
+//! The harness is deliberately two-layer:
+//! - [`check_determinism`] compares any two record streams — the generic
+//!   engine, used by the tests to prove the harness *fails* on injected
+//!   nondeterminism;
+//! - [`check_pipeline_determinism`] instantiates it on the real pipeline.
+
+use charisma_trace::codec;
+use charisma_trace::postprocess::postprocess;
+use charisma_workload::{generate, GeneratorConfig};
+
+/// Where in the pipeline the record streams first disagreed.
+#[derive(Clone, Debug)]
+pub struct Divergence {
+    /// Ordinal of the first differing record (0-based).
+    pub index: u64,
+    /// Hex dump of the record from the first run (empty if the stream ended).
+    pub first: String,
+    /// Hex dump of the record from the second run (empty if the stream ended).
+    pub second: String,
+}
+
+/// Outcome of a determinism check.
+#[derive(Clone, Debug)]
+pub struct DeterminismReport {
+    /// Total records compared (up to the divergence, if any).
+    pub records_checked: u64,
+    /// Streaming FNV-1a hash over all compared records of the first run.
+    pub stream_hash: u64,
+    /// First disagreement, or `None` if the streams are identical.
+    pub divergence: Option<Divergence>,
+}
+
+impl DeterminismReport {
+    /// Did the two runs produce byte-identical streams?
+    pub fn is_deterministic(&self) -> bool {
+        self.divergence.is_none()
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(hash: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *hash ^= b as u64;
+        *hash = hash.wrapping_mul(FNV_PRIME);
+    }
+}
+
+fn hex(bytes: &[u8]) -> String {
+    const DIGITS: &[u8; 16] = b"0123456789abcdef";
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        s.push(DIGITS[(b >> 4) as usize] as char);
+        s.push(DIGITS[(b & 0xf) as usize] as char);
+    }
+    s
+}
+
+/// Compare two record streams in lockstep, reporting the first divergence.
+///
+/// Memory use is O(1) in the stream length: records are hashed and dropped
+/// as they are consumed.
+pub fn check_determinism<A, B>(first: A, second: B) -> DeterminismReport
+where
+    A: IntoIterator<Item = Vec<u8>>,
+    B: IntoIterator<Item = Vec<u8>>,
+{
+    let mut a = first.into_iter();
+    let mut b = second.into_iter();
+    let mut hash = FNV_OFFSET;
+    let mut index = 0u64;
+    loop {
+        match (a.next(), b.next()) {
+            (None, None) => {
+                return DeterminismReport {
+                    records_checked: index,
+                    stream_hash: hash,
+                    divergence: None,
+                }
+            }
+            (ra, rb) => {
+                let da = ra.as_deref().unwrap_or_default();
+                let db = rb.as_deref().unwrap_or_default();
+                if da != db {
+                    return DeterminismReport {
+                        records_checked: index,
+                        stream_hash: hash,
+                        divergence: Some(Divergence {
+                            index,
+                            first: hex(da),
+                            second: hex(db),
+                        }),
+                    };
+                }
+                fnv1a(&mut hash, da);
+                index += 1;
+            }
+        }
+    }
+}
+
+/// Every record the pipeline emits for `seed` at `scale`, encoded.
+///
+/// The stream interleaves three layers so a divergence pinpoints the stage
+/// that broke: the trace header, each raw per-node record (with its block's
+/// node and timestamps), and each postprocessed ordered record.
+pub fn pipeline_record_stream(seed: u64, scale: f64) -> Vec<Vec<u8>> {
+    let workload = generate(GeneratorConfig {
+        scale,
+        seed,
+        ..Default::default()
+    });
+    let trace = &workload.trace;
+
+    let mut records = Vec::with_capacity(trace.event_count() * 2 + 1);
+    let mut buf = Vec::new();
+    codec::encode_header(&trace.header, &mut buf);
+    records.push(buf);
+
+    for block in &trace.blocks {
+        let mut head = Vec::with_capacity(18);
+        head.extend_from_slice(&block.node.to_le_bytes());
+        head.extend_from_slice(&block.send_local.as_micros().to_le_bytes());
+        head.extend_from_slice(&block.recv_service.as_micros().to_le_bytes());
+        records.push(head);
+        for event in &block.events {
+            let mut rec = Vec::with_capacity(codec::encoded_len(event));
+            codec::encode_event(event, &mut rec);
+            records.push(rec);
+        }
+    }
+
+    for ordered in postprocess(trace) {
+        let mut rec = Vec::with_capacity(26);
+        rec.extend_from_slice(&ordered.node.to_le_bytes());
+        let event = charisma_trace::record::Event {
+            local_time: ordered.time,
+            body: ordered.body,
+        };
+        codec::encode_event(&event, &mut rec);
+        records.push(rec);
+    }
+
+    records
+}
+
+/// Run the pipeline twice with the same seed and diff the record streams.
+pub fn check_pipeline_determinism(seed: u64, scale: f64) -> DeterminismReport {
+    check_determinism(
+        pipeline_record_stream(seed, scale),
+        pipeline_record_stream(seed, scale),
+    )
+}

@@ -1,0 +1,24 @@
+//! `charisma-verify`: the correctness-tooling layer of the CHARISMA
+//! reproduction.
+//!
+//! The whole value of this workspace is that `charisma-ipsc` + `charisma-cfs`
+//! produce *deterministic, well-formed* traces standing in for the
+//! proprietary NASA Ames data. This crate enforces that claim:
+//!
+//! - [`lint`] — a project-specific static pass over the workspace sources
+//!   (rules `CH001`–`CH004`) catching the constructs that historically break
+//!   determinism: hash-ordered iteration, raw `f64` time comparison,
+//!   panicking library paths, and ambient entropy / wall clocks.
+//! - [`determinism`] — an end-to-end harness that runs the
+//!   workload→simulate→trace pipeline twice with the same seed and diffs a
+//!   streaming hash of the trace records, reporting the first divergent
+//!   record on failure.
+//!
+//! The binary (`charisma-verify lint|determinism`) is the gate CI and all
+//! future perf/scaling PRs run behind.
+
+pub mod determinism;
+pub mod lint;
+
+pub use determinism::{check_pipeline_determinism, DeterminismReport, Divergence};
+pub use lint::{lint_workspace, Finding, LintConfig, Rule};

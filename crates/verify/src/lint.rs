@@ -1,0 +1,654 @@
+//! Project-specific static lint pass.
+//!
+//! `charisma-verify lint` walks every workspace crate and enforces the
+//! determinism rules the simulation depends on:
+//!
+//! | rule    | scope                              | what it forbids |
+//! |---------|------------------------------------|-----------------|
+//! | `CH001` | `ipsc`, `cfs`, `cachesim`, `trace` | `HashMap`/`HashSet` — hash iteration order is nondeterministic; use `BTreeMap`/`BTreeSet` or sort explicitly |
+//! | `CH002` | `ipsc`, `cfs`, `cachesim`, `trace` | comparing simulated time as raw `f64` (`as_secs_f64()` next to a comparison) outside `crates/ipsc/src/time.rs` — compare `SimTime`/`Duration` in integer microseconds |
+//! | `CH003` | `ipsc`, `cfs`, `trace`             | `.unwrap()` / `.expect(..)` / `panic!` in non-test library code — propagate typed errors; grandfathered sites live in a budgeted allowlist that may only shrink |
+//! | `CH004` | `ipsc`, `cfs`, `cachesim`, `trace`, `workload` | wall clocks (`Instant`, `SystemTime`) and ambient entropy (`thread_rng`, `from_entropy`) — all randomness must flow from a seeded RNG |
+//!
+//! The scanner is a purpose-built lexer, not a full parser: the build
+//! environment is offline, so `syn` is unavailable. It strips comments,
+//! string/char literals and `#[cfg(test)]` regions with line fidelity, then
+//! matches identifier tokens — precise enough for these rules, and the
+//! fixture suite in `tests/lint_fixtures.rs` pins the exact semantics.
+//!
+//! Suppressions: a `// charisma-verify: allow(CHxxx, reason)` comment on the
+//! offending line disables that one rule for that line. `CH003` additionally
+//! reads a per-file budget allowlist (`crates/verify/allowlist_ch003.txt`);
+//! a budget larger than the actual count is itself an error, which is what
+//! makes the allowlist monotonically shrink.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// The lint rules, `CH001`–`CH004`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Hash-ordered collections in simulation crates.
+    Ch001,
+    /// Raw `f64` simulation-time comparison outside the `SimTime` abstraction.
+    Ch002,
+    /// Panicking calls in non-test library code.
+    Ch003,
+    /// Wall clocks or ambient entropy in simulation crates.
+    Ch004,
+}
+
+impl Rule {
+    /// The rule's code, e.g. `"CH001"`.
+    pub fn code(self) -> &'static str {
+        match self {
+            Rule::Ch001 => "CH001",
+            Rule::Ch002 => "CH002",
+            Rule::Ch003 => "CH003",
+            Rule::Ch004 => "CH004",
+        }
+    }
+
+    fn parse(code: &str) -> Option<Rule> {
+        match code {
+            "CH001" => Some(Rule::Ch001),
+            "CH002" => Some(Rule::Ch002),
+            "CH003" => Some(Rule::Ch003),
+            "CH004" => Some(Rule::Ch004),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// One lint violation.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+    /// Human explanation of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {}:{}: {}\n    {}",
+            self.rule, self.file, self.line, self.message, self.snippet
+        )
+    }
+}
+
+/// Which rules apply to a file; derived from the owning crate.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FileScope {
+    pub ch001: bool,
+    pub ch002: bool,
+    pub ch003: bool,
+    pub ch004: bool,
+}
+
+/// Crates whose trace output must be hash-order free (`CH001`/`CH002`/`CH004`).
+const SIM_CRATES: &[&str] = &["ipsc", "cfs", "cachesim", "trace"];
+/// Crates whose library code must not panic (`CH003`).
+const NO_PANIC_CRATES: &[&str] = &["ipsc", "cfs", "trace"];
+/// `CH004` additionally covers the workload generator: its randomness must
+/// be seeded too.
+const SEEDED_RNG_CRATES: &[&str] = &["ipsc", "cfs", "cachesim", "trace", "workload"];
+
+/// Scope for a file at `rel` (workspace-relative, `/`-separated).
+pub fn scope_for(rel: &str) -> FileScope {
+    let mut scope = FileScope::default();
+    let Some(krate) = rel
+        .strip_prefix("crates/")
+        .and_then(|r| r.split('/').next())
+    else {
+        return scope;
+    };
+    // Only library sources are linted; integration tests/benches/examples
+    // may panic and use whatever containers they like.
+    if !rel.contains("/src/") {
+        return scope;
+    }
+    scope.ch001 = SIM_CRATES.contains(&krate);
+    scope.ch002 = SIM_CRATES.contains(&krate) && rel != "crates/ipsc/src/time.rs";
+    scope.ch003 = NO_PANIC_CRATES.contains(&krate);
+    scope.ch004 = SEEDED_RNG_CRATES.contains(&krate);
+    scope
+}
+
+/// Lint configuration.
+pub struct LintConfig {
+    /// Workspace root (the directory holding the top-level `Cargo.toml`).
+    pub workspace_root: PathBuf,
+    /// `CH003` allowlist path; defaults to `crates/verify/allowlist_ch003.txt`
+    /// under the root.
+    pub allowlist: Option<PathBuf>,
+}
+
+impl LintConfig {
+    /// Configuration rooted at `root` with the default allowlist.
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        LintConfig {
+            workspace_root: root.into(),
+            allowlist: None,
+        }
+    }
+
+    fn allowlist_path(&self) -> PathBuf {
+        self.allowlist.clone().unwrap_or_else(|| {
+            self.workspace_root
+                .join("crates/verify/allowlist_ch003.txt")
+        })
+    }
+}
+
+/// Lint every workspace crate. Returns all findings (empty = clean).
+pub fn lint_workspace(cfg: &LintConfig) -> Result<Vec<Finding>, std::io::Error> {
+    let mut files = Vec::new();
+    let crates_dir = cfg.workspace_root.join("crates");
+    if !crates_dir.is_dir() {
+        // A missing crates/ means a wrong --root; "clean" would be a lie.
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::NotFound,
+            format!(
+                "no crates/ directory under {}",
+                cfg.workspace_root.display()
+            ),
+        ));
+    }
+    collect_rs_files(&crates_dir, &mut files)?;
+    files.sort();
+
+    let mut findings = Vec::new();
+    let mut ch003_findings: BTreeMap<String, Vec<Finding>> = BTreeMap::new();
+
+    for path in &files {
+        let rel = path
+            .strip_prefix(&cfg.workspace_root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let scope = scope_for(&rel);
+        if !(scope.ch001 || scope.ch002 || scope.ch003 || scope.ch004) {
+            continue;
+        }
+        let source = std::fs::read_to_string(path)?;
+        for finding in scan_source(&rel, &source, scope) {
+            if finding.rule == Rule::Ch003 {
+                ch003_findings.entry(rel.clone()).or_default().push(finding);
+            } else {
+                findings.push(finding);
+            }
+        }
+    }
+
+    // Apply the CH003 budget allowlist.
+    let budgets = load_allowlist(&cfg.allowlist_path())?;
+    let mut actual_counts: BTreeMap<String, usize> = BTreeMap::new();
+    for (file, file_findings) in &ch003_findings {
+        actual_counts.insert(file.clone(), file_findings.len());
+        let budget = budgets.get(file.as_str()).copied().unwrap_or(0);
+        if file_findings.len() > budget {
+            findings.extend(file_findings.iter().cloned().map(|mut f| {
+                f.message = format!(
+                    "{} ({} sites in file, allowlist budget {budget})",
+                    f.message,
+                    file_findings.len()
+                );
+                f
+            }));
+        }
+    }
+    // A stale (over-generous) budget is an error: the allowlist may only
+    // shrink, and tightening it is part of removing a panic site.
+    for (file, &budget) in &budgets {
+        let actual = actual_counts.get(file).copied().unwrap_or(0);
+        if actual < budget {
+            findings.push(Finding {
+                rule: Rule::Ch003,
+                file: file.clone(),
+                line: 0,
+                snippet: format!("allowlist budget {budget}, actual panic sites {actual}"),
+                message: format!(
+                    "stale CH003 allowlist entry: tighten the budget for {file} to {actual}"
+                ),
+            });
+        }
+    }
+
+    findings.sort_by(|a, b| (a.rule, &a.file, a.line).cmp(&(b.rule, &b.file, b.line)));
+    Ok(findings)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), std::io::Error> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy().to_string();
+        if path.is_dir() {
+            // Skip build output and the lint fixtures themselves.
+            if name == "target" || name == "fixtures" {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Parse the CH003 allowlist: `path = budget` lines, `#` comments.
+pub fn load_allowlist(path: &Path) -> Result<BTreeMap<String, usize>, std::io::Error> {
+    let mut budgets = BTreeMap::new();
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(budgets),
+        Err(e) => return Err(e),
+    };
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some((file, count)) = line.split_once('=') {
+            if let Ok(n) = count.trim().parse::<usize>() {
+                budgets.insert(file.trim().to_string(), n);
+            }
+        }
+    }
+    Ok(budgets)
+}
+
+// ---------------------------------------------------------------------------
+// Source scanning
+// ---------------------------------------------------------------------------
+
+/// Artifacts of the cleaning pass.
+struct CleanSource {
+    /// Source with comments, strings and char literals blanked to spaces
+    /// (same line structure as the input).
+    code: String,
+    /// `allow(rule)` directives found in comments, per 1-based line.
+    allows: BTreeMap<usize, Vec<Rule>>,
+}
+
+/// Scan one file's source under `scope`. Public so the fixture tests can pin
+/// rule semantics without touching the filesystem layout.
+pub fn scan_source(rel: &str, source: &str, scope: FileScope) -> Vec<Finding> {
+    let clean = clean_source(source);
+    let test_spans = test_region_spans(&clean.code);
+    let mut findings = Vec::new();
+
+    let mut offset = 0usize;
+    for (idx, (raw_line, clean_line)) in source.lines().zip(clean.code.lines()).enumerate() {
+        let lineno = idx + 1;
+        let in_test = test_spans
+            .iter()
+            .any(|&(start, end)| offset >= start && offset < end);
+        offset += clean_line.len() + 1;
+        if in_test {
+            continue;
+        }
+        let allowed = |rule: Rule| {
+            clean
+                .allows
+                .get(&lineno)
+                .is_some_and(|rules| rules.contains(&rule))
+        };
+        let mut push = |rule: Rule, message: String| {
+            if !allowed(rule) {
+                findings.push(Finding {
+                    rule,
+                    file: rel.to_string(),
+                    line: lineno,
+                    snippet: raw_line.trim().to_string(),
+                    message,
+                });
+            }
+        };
+
+        if scope.ch001 {
+            for ident in ["HashMap", "HashSet"] {
+                if has_ident(clean_line, ident) {
+                    push(
+                        Rule::Ch001,
+                        format!(
+                            "{ident} in a simulation crate: iteration order is \
+                             nondeterministic; use BTreeMap/BTreeSet or sort explicitly"
+                        ),
+                    );
+                }
+            }
+        }
+        if scope.ch002 && has_ident(clean_line, "as_secs_f64") && has_comparison(clean_line) {
+            push(
+                Rule::Ch002,
+                "raw f64 time comparison: compare SimTime/Duration in integer \
+                 microseconds (as_secs_f64 is for reporting only)"
+                    .to_string(),
+            );
+        }
+        if scope.ch003 {
+            for _ in 0..count_panic_sites(clean_line) {
+                push(
+                    Rule::Ch003,
+                    "panicking call in library code: propagate a typed error".to_string(),
+                );
+            }
+        }
+        if scope.ch004 {
+            for ident in ["Instant", "SystemTime", "thread_rng", "from_entropy"] {
+                if has_ident(clean_line, ident) {
+                    push(
+                        Rule::Ch004,
+                        format!(
+                            "{ident} in a simulation crate: wall clocks and ambient \
+                             entropy break reproducibility; use SimTime and a seeded RNG"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+    findings
+}
+
+/// Blank out comments, strings and char literals, preserving line structure;
+/// harvest `charisma-verify: allow(CHxxx)` directives from comments.
+fn clean_source(source: &str) -> CleanSource {
+    let bytes = source.as_bytes();
+    let mut out: Vec<u8> = Vec::with_capacity(bytes.len());
+    let mut allows: BTreeMap<usize, Vec<Rule>> = BTreeMap::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+
+    fn record_allow(allows: &mut BTreeMap<usize, Vec<Rule>>, text: &str, line: usize) {
+        let mut rest = text;
+        while let Some(pos) = rest.find("charisma-verify: allow(") {
+            let after = &rest[pos + "charisma-verify: allow(".len()..];
+            if let Some(rule) = after.get(..5).and_then(Rule::parse) {
+                allows.entry(line).or_default().push(rule);
+            }
+            rest = after;
+        }
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                out.push(b'\n');
+                line += 1;
+                i += 1;
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                // Line comment: blank to end of line.
+                let end = source[i..].find('\n').map(|p| i + p).unwrap_or(bytes.len());
+                record_allow(&mut allows, &source[i..end], line);
+                out.resize(out.len() + (end - i), b' ');
+                i = end;
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                // Block comment, possibly nested.
+                let start_line = line;
+                let mut depth = 1;
+                let mut j = i + 2;
+                while j < bytes.len() && depth > 0 {
+                    if bytes[j] == b'/' && bytes.get(j + 1) == Some(&b'*') {
+                        depth += 1;
+                        j += 2;
+                    } else if bytes[j] == b'*' && bytes.get(j + 1) == Some(&b'/') {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        if bytes[j] == b'\n' {
+                            line += 1;
+                        }
+                        j += 1;
+                    }
+                }
+                record_allow(&mut allows, &source[i..j.min(bytes.len())], start_line);
+                for &b in &bytes[i..j.min(bytes.len())] {
+                    out.push(if b == b'\n' { b'\n' } else { b' ' });
+                }
+                i = j;
+            }
+            b'"' => {
+                // String literal. Raw strings are caught by the `r` branch
+                // below before we ever see their quote.
+                out.push(b' ');
+                let mut j = i + 1;
+                while j < bytes.len() {
+                    match bytes[j] {
+                        b'\\' => {
+                            out.extend_from_slice(b"  ");
+                            j += 2;
+                        }
+                        b'"' => {
+                            out.push(b' ');
+                            j += 1;
+                            break;
+                        }
+                        b'\n' => {
+                            out.push(b'\n');
+                            line += 1;
+                            j += 1;
+                        }
+                        _ => {
+                            out.push(b' ');
+                            j += 1;
+                        }
+                    }
+                }
+                i = j;
+            }
+            b'r' if is_raw_string_start(bytes, i) => {
+                let (end, newlines) = skip_raw_string(bytes, i);
+                for &b in &bytes[i..end] {
+                    out.push(if b == b'\n' { b'\n' } else { b' ' });
+                }
+                line += newlines;
+                i = end;
+            }
+            b'\'' => {
+                if bytes.get(i + 1) == Some(&b'\\') {
+                    // Escaped char literal: blank to the closing quote.
+                    let mut j = i + 2;
+                    while j < bytes.len() && bytes[j] != b'\'' {
+                        j += 1;
+                    }
+                    let end = (j + 1).min(bytes.len());
+                    out.resize(out.len() + (end - i), b' ');
+                    i = end;
+                } else if bytes.get(i + 2) == Some(&b'\'') {
+                    // Plain char literal like 'x'.
+                    out.extend_from_slice(b"   ");
+                    i += 3;
+                } else {
+                    // Lifetime tick: keep and continue.
+                    out.push(b'\'');
+                    i += 1;
+                }
+            }
+            _ => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+
+    CleanSource {
+        code: String::from_utf8_lossy(&out).into_owned(),
+        allows,
+    }
+}
+
+fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
+    if i > 0 && is_ident_char(bytes[i - 1]) {
+        return false;
+    }
+    let mut j = i + 1;
+    while j < bytes.len() && bytes[j] == b'#' {
+        j += 1;
+    }
+    j < bytes.len() && bytes[j] == b'"'
+}
+
+fn skip_raw_string(bytes: &[u8], i: usize) -> (usize, usize) {
+    let mut hashes = 0usize;
+    let mut j = i + 1;
+    while j < bytes.len() && bytes[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    j += 1; // opening quote
+    let mut newlines = 0usize;
+    while j < bytes.len() {
+        if bytes[j] == b'\n' {
+            newlines += 1;
+        }
+        if bytes[j] == b'"' {
+            let end_hashes = bytes[j + 1..]
+                .iter()
+                .take(hashes)
+                .take_while(|&&b| b == b'#')
+                .count();
+            if end_hashes == hashes {
+                return (j + 1 + hashes, newlines);
+            }
+        }
+        j += 1;
+    }
+    (bytes.len(), newlines)
+}
+
+fn is_ident_char(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Does `line` contain `ident` as a standalone identifier token?
+fn has_ident(line: &str, ident: &str) -> bool {
+    let bytes = line.as_bytes();
+    let mut start = 0usize;
+    while let Some(pos) = line[start..].find(ident) {
+        let at = start + pos;
+        let before_ok = at == 0 || !is_ident_char(bytes[at - 1]);
+        let after = at + ident.len();
+        let after_ok = after >= bytes.len() || !is_ident_char(bytes[after]);
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + ident.len();
+    }
+    false
+}
+
+/// Does `line` contain a comparison operator (excluding `->`, `=>`, shifts)?
+fn has_comparison(line: &str) -> bool {
+    let b = line.as_bytes();
+    for i in 0..b.len() {
+        match b[i] {
+            // `==` but not the tail of `<=`/`>=`/`!=`/`==` already counted.
+            b'=' if b.get(i + 1) == Some(&b'=')
+                && (i == 0 || !matches!(b[i - 1], b'<' | b'>' | b'!' | b'=')) =>
+            {
+                return true;
+            }
+            b'!' if b.get(i + 1) == Some(&b'=') => return true,
+            b'<' => {
+                if b.get(i + 1) == Some(&b'<') || (i > 0 && b[i - 1] == b'<') {
+                    continue; // shift
+                }
+                return true;
+            }
+            b'>' => {
+                if i > 0 && matches!(b[i - 1], b'-' | b'=' | b'>') {
+                    continue; // -> or => or shift tail
+                }
+                if b.get(i + 1) == Some(&b'>') {
+                    continue; // shift head
+                }
+                return true;
+            }
+            _ => {}
+        }
+    }
+    line.contains(".partial_cmp(") || line.contains(".total_cmp(")
+}
+
+/// Count `.unwrap()`, `.expect(` and `panic!` sites on one cleaned line.
+fn count_panic_sites(line: &str) -> usize {
+    let mut n = 0usize;
+    let mut rest = line;
+    while let Some(pos) = rest.find(".unwrap()") {
+        n += 1;
+        rest = &rest[pos + ".unwrap()".len()..];
+    }
+    let mut rest = line;
+    while let Some(pos) = rest.find(".expect(") {
+        n += 1;
+        rest = &rest[pos + ".expect(".len()..];
+    }
+    let mut start = 0usize;
+    while let Some(pos) = line[start..].find("panic!") {
+        let at = start + pos;
+        if at == 0 || !is_ident_char(line.as_bytes()[at - 1]) {
+            n += 1;
+        }
+        start = at + "panic!".len();
+    }
+    n
+}
+
+/// Byte spans (into the cleaned source) of `#[cfg(test)]` items.
+fn test_region_spans(clean: &str) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let bytes = clean.as_bytes();
+    let mut search = 0usize;
+    while let Some(pos) = clean[search..].find("#[cfg(test)]") {
+        let attr_at = search + pos;
+        // The guarded item runs from the attribute to the close of the first
+        // brace block after it.
+        let Some(open_rel) = clean[attr_at..].find('{') else {
+            break;
+        };
+        let open = attr_at + open_rel;
+        let mut depth = 0usize;
+        let mut end = bytes.len();
+        for (j, &b) in bytes.iter().enumerate().skip(open) {
+            match b {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = j + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        spans.push((attr_at, end));
+        search = end.max(attr_at + 1);
+    }
+    spans
+}

@@ -1,0 +1,136 @@
+//! `charisma-verify` — the workspace's correctness gate.
+//!
+//! ```text
+//! charisma-verify lint [--root DIR]
+//! charisma-verify determinism [--seed N] [--scale F]
+//! ```
+//!
+//! Both subcommands exit 0 on success and 1 on violation/divergence, so the
+//! binary slots directly into CI.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use charisma_verify::{check_pipeline_determinism, lint_workspace, LintConfig};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: charisma-verify <command>\n\n\
+         commands:\n\
+           lint         [--root DIR]            run the CH001-CH004 static pass\n\
+           determinism  [--seed N] [--scale F]  prove two same-seed pipeline runs agree"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => run_lint(&args[1..]),
+        Some("determinism") => run_determinism(&args[1..]),
+        _ => usage(),
+    }
+}
+
+/// Locate the workspace root: walk upward from the current directory to the
+/// first directory holding a `Cargo.toml` with a `[workspace]` table.
+fn find_workspace_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn run_lint(args: &[String]) -> ExitCode {
+    let root = flag_value(args, "--root")
+        .map(PathBuf::from)
+        .unwrap_or_else(find_workspace_root);
+    let cfg = LintConfig::new(root);
+    match lint_workspace(&cfg) {
+        Ok(findings) if findings.is_empty() => {
+            println!("charisma-verify lint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            println!("charisma-verify lint: {} violation(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("charisma-verify lint: I/O error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Parse an optional flag, distinguishing "absent" (use the default) from
+/// "present but malformed" (a usage error, not a silent fallback).
+fn parsed_flag<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> Result<T, String> {
+    match flag_value(args, flag) {
+        None => Ok(default),
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| format!("invalid value for {flag}: {raw:?}")),
+    }
+}
+
+fn run_determinism(args: &[String]) -> ExitCode {
+    let (seed, scale) = match (
+        parsed_flag(args, "--seed", 4994u64),
+        parsed_flag(args, "--scale", 0.05f64),
+    ) {
+        (Ok(seed), Ok(scale)) => (seed, scale),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("charisma-verify determinism: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!("charisma-verify determinism: seed={seed} scale={scale}, running pipeline twice...");
+    let report = check_pipeline_determinism(seed, scale);
+    match &report.divergence {
+        None => {
+            println!(
+                "deterministic: {} records, stream hash {:#018x}",
+                report.records_checked, report.stream_hash
+            );
+            ExitCode::SUCCESS
+        }
+        Some(d) => {
+            println!("DIVERGENCE at record {}:", d.index);
+            println!("  run 1: {}", truncated(&d.first));
+            println!("  run 2: {}", truncated(&d.second));
+            println!(
+                "({} records agreed before the divergence)",
+                report.records_checked
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn truncated(hex: &str) -> &str {
+    if hex.is_empty() {
+        "<stream ended>"
+    } else if hex.len() > 128 {
+        &hex[..128]
+    } else {
+        hex
+    }
+}

@@ -1,0 +1,66 @@
+//! The determinism harness must pass on the real pipeline and fail loudly
+//! on injected nondeterminism.
+
+use charisma_verify::check_pipeline_determinism;
+use charisma_verify::determinism::{check_determinism, pipeline_record_stream};
+
+#[test]
+fn seed_pipeline_is_deterministic() {
+    let report = check_pipeline_determinism(4994, 0.02);
+    assert!(report.is_deterministic(), "{:?}", report.divergence);
+    assert!(report.records_checked > 1000, "suspiciously small trace");
+}
+
+#[test]
+fn different_seeds_produce_different_streams() {
+    let report = check_determinism(
+        pipeline_record_stream(1, 0.02),
+        pipeline_record_stream(2, 0.02),
+    );
+    assert!(
+        !report.is_deterministic(),
+        "seeds 1 and 2 produced identical traces"
+    );
+}
+
+/// A record stream corrupted by ambient state — the failure mode CH004 and
+/// this harness exist to catch. The counter survives across calls, so the
+/// second "run" sees a different value than the first, exactly like an
+/// unseeded RNG or leaked wall-clock timestamp would inject.
+fn nondeterministic_stream() -> Vec<Vec<u8>> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static AMBIENT: AtomicU64 = AtomicU64::new(0);
+    let run = AMBIENT.fetch_add(1, Ordering::Relaxed);
+    let mut records = vec![vec![1, 2, 3], vec![4, 5, 6]];
+    records.push(run.to_le_bytes().to_vec());
+    records.push(vec![7, 8, 9]);
+    records
+}
+
+#[test]
+fn injected_nondeterminism_is_caught_and_localized() {
+    let report = check_determinism(nondeterministic_stream(), nondeterministic_stream());
+    let d = report.divergence.expect("divergence must be detected");
+    assert_eq!(d.index, 2, "first two records agree");
+    assert_eq!(report.records_checked, 2);
+    assert_ne!(d.first, d.second);
+}
+
+#[test]
+fn stream_length_mismatch_is_a_divergence() {
+    let report = check_determinism(vec![vec![1u8], vec![2]], vec![vec![1u8], vec![2], vec![3]]);
+    let d = report
+        .divergence
+        .expect("extra record must be a divergence");
+    assert_eq!(d.index, 2);
+    assert_eq!(d.first, "", "first stream ended");
+    assert_eq!(d.second, "03");
+}
+
+#[test]
+fn stream_hash_is_stable_across_runs() {
+    let a = check_pipeline_determinism(77, 0.02);
+    let b = check_pipeline_determinism(77, 0.02);
+    assert_eq!(a.stream_hash, b.stream_hash);
+    assert_eq!(a.records_checked, b.records_checked);
+}

@@ -1,0 +1,137 @@
+//! Every lint rule proved against fixture sources that must and must not
+//! trigger it. The fixtures live in `fixtures/` (outside `src/`, so the
+//! workspace walk never lints them) and are scanned under a simulated
+//! simulation-crate path.
+
+use charisma_verify::lint::{scan_source, scope_for, Rule};
+
+/// Scan `source` as if it sat in a fully-scoped simulation crate.
+fn scan(source: &str) -> Vec<charisma_verify::Finding> {
+    let rel = "crates/ipsc/src/fixture.rs";
+    scan_source(rel, source, scope_for(rel))
+}
+
+fn codes(source: &str) -> Vec<&'static str> {
+    scan(source).iter().map(|f| f.rule.code()).collect()
+}
+
+#[test]
+fn ch001_fires_on_hash_containers() {
+    let findings = scan(include_str!("../fixtures/ch001_trigger.rs"));
+    let ch001 = findings.iter().filter(|f| f.rule == Rule::Ch001).count();
+    // Two imports + one HashSet decl + one HashMap decl with two mentions.
+    assert!(ch001 >= 4, "expected >=4 CH001 findings, got {findings:#?}");
+    assert!(findings.iter().all(|f| f.rule == Rule::Ch001));
+}
+
+#[test]
+fn ch001_quiet_on_ordered_containers_comments_strings_tests() {
+    assert_eq!(codes(include_str!("../fixtures/ch001_clean.rs")), [""; 0]);
+}
+
+#[test]
+fn ch002_fires_on_f64_time_comparison() {
+    let findings = scan(include_str!("../fixtures/ch002_trigger.rs"));
+    assert_eq!(findings.len(), 1, "{findings:#?}");
+    assert_eq!(findings[0].rule, Rule::Ch002);
+    assert_eq!(findings[0].line, 3);
+}
+
+#[test]
+fn ch002_quiet_on_reporting_and_integer_comparison() {
+    assert_eq!(codes(include_str!("../fixtures/ch002_clean.rs")), [""; 0]);
+}
+
+#[test]
+fn ch002_exempts_the_time_module_itself() {
+    let rel = "crates/ipsc/src/time.rs";
+    let findings = scan_source(
+        rel,
+        include_str!("../fixtures/ch002_trigger.rs"),
+        scope_for(rel),
+    );
+    assert!(
+        findings.iter().all(|f| f.rule != Rule::Ch002),
+        "{findings:#?}"
+    );
+}
+
+#[test]
+fn ch003_counts_every_panic_site() {
+    let findings = scan(include_str!("../fixtures/ch003_trigger.rs"));
+    let ch003 = findings.iter().filter(|f| f.rule == Rule::Ch003).count();
+    assert_eq!(ch003, 3, "unwrap + expect + panic!: {findings:#?}");
+}
+
+#[test]
+fn ch003_quiet_on_typed_errors_and_test_panics() {
+    assert_eq!(codes(include_str!("../fixtures/ch003_clean.rs")), [""; 0]);
+}
+
+#[test]
+fn ch004_fires_on_wall_clocks_and_ambient_entropy() {
+    let findings = scan(include_str!("../fixtures/ch004_trigger.rs"));
+    let ch004 = findings.iter().filter(|f| f.rule == Rule::Ch004).count();
+    assert_eq!(ch004, 3, "Instant + SystemTime + thread_rng: {findings:#?}");
+}
+
+#[test]
+fn ch004_quiet_on_seeded_rngs() {
+    assert_eq!(codes(include_str!("../fixtures/ch004_clean.rs")), [""; 0]);
+}
+
+#[test]
+fn inline_allow_suppresses_only_its_line() {
+    let source = include_str!("../fixtures/suppressed.rs");
+    let findings = scan(source);
+    // The import line is suppressed; the signature and body lines are not.
+    assert!(
+        findings.iter().all(|f| f.line != 3),
+        "allow directive ignored: {findings:#?}"
+    );
+    assert_eq!(
+        findings.iter().filter(|f| f.rule == Rule::Ch001).count(),
+        2,
+        "{findings:#?}"
+    );
+}
+
+#[test]
+fn non_simulation_paths_are_out_of_scope() {
+    for rel in [
+        "crates/core/src/analyze.rs",
+        "crates/ipsc/tests/integration.rs",
+        "crates/ipsc/benches/bench.rs",
+        "tests/end_to_end.rs",
+    ] {
+        let findings = scan_source(
+            rel,
+            include_str!("../fixtures/ch001_trigger.rs"),
+            scope_for(rel),
+        );
+        assert!(
+            findings.is_empty(),
+            "{rel} should be unscoped: {findings:#?}"
+        );
+    }
+}
+
+#[test]
+fn workload_is_scoped_for_ch004_only_rng_rules() {
+    let scope = scope_for("crates/workload/src/apps.rs");
+    assert!(!scope.ch001 && !scope.ch002 && !scope.ch003 && scope.ch004);
+}
+
+#[test]
+fn the_workspace_itself_is_clean() {
+    // The repository must satisfy its own lint: this is the same check CI
+    // runs via the binary, kept here so `cargo test` alone catches drift.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/verify has a workspace root")
+        .to_path_buf();
+    let findings =
+        charisma_verify::lint_workspace(&charisma_verify::LintConfig::new(root)).expect("walk");
+    assert!(findings.is_empty(), "{findings:#?}");
+}

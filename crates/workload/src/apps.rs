@@ -553,7 +553,10 @@ impl Builder<'_> {
                 bytes: 512,
             });
         }
-        self.progs[0].push(Op::Write { slot: 2, bytes: 300 });
+        self.progs[0].push(Op::Write {
+            slot: 2,
+            bytes: 300,
+        });
         self.progs[0].push(Op::Close { slot: 2 });
     }
 
@@ -567,7 +570,7 @@ impl Builder<'_> {
             self.partitioned_read(1, 200_000);
         } else {
             let record = *[256u32, 512, 1024]
-                .get(self.rng.gen_range(0..3))
+                .get(self.rng.gen_range(0..3usize))
                 .expect("palette");
             let reread = self.rng.gen_bool(0.10);
             self.broadcast_records(1, 24_000, record, reread);
@@ -595,7 +598,10 @@ impl Builder<'_> {
                     mode: IoMode::Independent,
                     truncate: false,
                 });
-                prog.push(Op::Write { slot: 2, bytes: 256 });
+                prog.push(Op::Write {
+                    slot: 2,
+                    bytes: 256,
+                });
                 prog.push(Op::Seek {
                     slot: 2,
                     offset: 256 + n as u64 * part,
@@ -736,13 +742,28 @@ impl Builder<'_> {
         let style = self.rng.gen::<f64>();
         let (chunk, pieces) = if style < 0.20 {
             // One request per chunk: no intraprocess locality at all.
-            (*[512u32, 1024, 2048].get(self.rng.gen_range(0..3)).expect("palette"), 1)
+            (
+                *[512u32, 1024, 2048]
+                    .get(self.rng.gen_range(0..3usize))
+                    .expect("palette"),
+                1,
+            )
         } else if style < 0.58 {
             // Two pieces per chunk: ~50% compute-cache hit rate.
-            (*[512u32, 1024, 2048].get(self.rng.gen_range(0..3)).expect("palette"), 2)
+            (
+                *[512u32, 1024, 2048]
+                    .get(self.rng.gen_range(0..3usize))
+                    .expect("palette"),
+                2,
+            )
         } else {
             // Eight fine pieces: ~87% hit rate (the >75% clump).
-            (*[1024u32, 2048].get(self.rng.gen_range(0..2)).expect("palette"), 8)
+            (
+                *[1024u32, 2048]
+                    .get(self.rng.gen_range(0..2usize))
+                    .expect("palette"),
+                8,
+            )
         };
 
         let shared_meta = self.rng.gen_bool(0.5);
@@ -779,8 +800,8 @@ impl Builder<'_> {
             let node = f % p;
             let slot = f as u16;
             let temporary = f < params::out_of_core::TEMPORARY;
-            let random = !temporary
-                && f < params::out_of_core::TEMPORARY + params::out_of_core::RANDOM_RW;
+            let random =
+                !temporary && f < params::out_of_core::TEMPORARY + params::out_of_core::RANDOM_RW;
             self.progs[node].push(Op::Open {
                 slot,
                 access: Access::ReadWrite,
@@ -793,10 +814,7 @@ impl Builder<'_> {
                 let think = self.think();
                 let prog = &mut self.progs[node];
                 prog.push(think);
-                prog.push(Op::Write {
-                    slot,
-                    bytes: 4096,
-                });
+                prog.push(Op::Write { slot, bytes: 4096 });
             }
             if random {
                 // Out-of-core stencil: random partial-block

@@ -207,14 +207,21 @@ impl Generator {
     /// Ethernet from the host).
     fn seed_datasets(&mut self) {
         let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0xda7a);
-        let count = ((params::DATASET_FILES as f64) * self.config.scale.clamp(0.1, 1.0))
-            .round() as usize;
+        let count =
+            ((params::DATASET_FILES as f64) * self.config.scale.clamp(0.1, 1.0)).round() as usize;
         for i in 0..count.max(4) {
             let size = params::draw_mix(&params::INPUT_SIZE_MIX, &mut rng);
             let path = format!("dataset/{i}");
             let open = self
                 .cfs
-                .open(u32::MAX, &path, Access::Write, IoMode::Independent, 0, false)
+                .open(
+                    u32::MAX,
+                    &path,
+                    Access::Write,
+                    IoMode::Independent,
+                    0,
+                    false,
+                )
                 .expect("dataset creation");
             let mut written = 0u64;
             while written < size {
@@ -340,7 +347,14 @@ impl Generator {
                 let path = format!("job{job}/{}{idx}", spec.hint);
                 let open = self
                     .cfs
-                    .open(u32::MAX, &path, Access::Write, IoMode::Independent, 0, false)
+                    .open(
+                        u32::MAX,
+                        &path,
+                        Access::Write,
+                        IoMode::Independent,
+                        0,
+                        false,
+                    )
                     .expect("staging open");
                 self.cfs
                     .write(&self.machine, open.session, 0, size as u32, SimTime::ZERO)
@@ -465,7 +479,10 @@ impl Generator {
                 }
                 Op::Write { slot, bytes } => {
                     let session = self.slot_session(job, slot);
-                    match self.cfs.write(&self.machine, session, node as u16, bytes, t) {
+                    match self
+                        .cfs
+                        .write(&self.machine, session, node as u16, bytes, t)
+                    {
                         Ok(out) => {
                             self.stats.requests += 1;
                             self.log_node(
@@ -689,11 +706,10 @@ mod tests {
                     file,
                     created: c,
                     ..
+                } if c => {
+                    created.insert(file);
+                    created_by.insert(file, job);
                 }
-                    if c => {
-                        created.insert(file);
-                        created_by.insert(file, job);
-                    }
                 EventBody::Delete { job, file } => {
                     // Traced deletes come from the out-of-core app deleting
                     // its own temporaries.

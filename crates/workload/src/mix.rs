@@ -107,9 +107,11 @@ impl Scale {
 impl Mix {
     /// Plan the job mix at the given scale.
     pub fn plan<R: Rng>(scale: Scale, rng: &mut R) -> Mix {
-        let trace_len = SimTime::from_hours((params::TRACE_HOURS as f64 * scale.0.min(1.0))
-            .max(2.0)
-            .round() as u64);
+        let trace_len = SimTime::from_hours(
+            (params::TRACE_HOURS as f64 * scale.0.min(1.0))
+                .max(2.0)
+                .round() as u64,
+        );
 
         // Build the class deck with exact (scaled) counts.
         let mut deck: Vec<JobClass> = Vec::new();
@@ -120,28 +122,36 @@ impl Mix {
             &mut deck,
             JobClass::UntracedSingle,
             scale.apply(
-                params::SINGLE_NODE_JOBS
-                    - params::STATUS_CHECKER_RUNS
-                    - params::TRACED_SINGLE_JOBS,
+                params::SINGLE_NODE_JOBS - params::STATUS_CHECKER_RUNS - params::TRACED_SINGLE_JOBS,
             ),
         );
         push(
             &mut deck,
             JobClass::UntracedMulti,
-            scale.apply(
-                params::TOTAL_JOBS - params::SINGLE_NODE_JOBS - params::TRACED_MULTI_JOBS,
-            ),
+            scale.apply(params::TOTAL_JOBS - params::SINGLE_NODE_JOBS - params::TRACED_MULTI_JOBS),
         );
         // Traced classes, Table 1 buckets. StatusReader covers the one-file
         // bucket: 69 multi-node + 2 single-node runs.
-        push(&mut deck, JobClass::StatusReader, scale.apply(params::table1::ONE_FILE_JOBS));
-        push(&mut deck, JobClass::Copier, scale.apply(params::table1::TWO_FILE_JOBS));
+        push(
+            &mut deck,
+            JobClass::StatusReader,
+            scale.apply(params::table1::ONE_FILE_JOBS),
+        );
+        push(
+            &mut deck,
+            JobClass::Copier,
+            scale.apply(params::table1::TWO_FILE_JOBS),
+        );
         push(
             &mut deck,
             JobClass::PostProcessor,
             scale.apply(params::table1::THREE_FILE_JOBS),
         );
-        push(&mut deck, JobClass::SmallCfd, scale.apply(params::table1::FOUR_FILE_JOBS));
+        push(
+            &mut deck,
+            JobClass::SmallCfd,
+            scale.apply(params::table1::FOUR_FILE_JOBS),
+        );
         let many = scale.apply(params::table1::MANY_FILE_JOBS);
         if many >= 1 {
             push(&mut deck, JobClass::CfdPerNode, many.saturating_sub(2));
@@ -202,7 +212,9 @@ impl Mix {
 
     fn make_job<R: Rng>(class: JobClass, arrival: SimTime, rng: &mut R) -> JobPlan {
         let nodes = match class {
-            JobClass::StatusChecker | JobClass::UntracedSingle | JobClass::PostProcessor
+            JobClass::StatusChecker
+            | JobClass::UntracedSingle
+            | JobClass::PostProcessor
             | JobClass::Copier => 1,
             JobClass::StatusReader => {
                 // Mostly small multi-node, a couple single-node.
@@ -216,11 +228,7 @@ impl Mix {
             JobClass::OutOfCore => params::out_of_core::NODES,
             JobClass::Checkpointer => 32,
             JobClass::UntracedMulti | JobClass::CfdPerNode => {
-                params::draw_mix(
-                    &params::MULTI_NODE_WEIGHTS
-                        .map(|(n, w)| (n, w as u32)),
-                    rng,
-                )
+                params::draw_mix(&params::MULTI_NODE_WEIGHTS.map(|(n, w)| (n, w as u32)), rng)
             }
         };
         let mean = if nodes == 1 {
@@ -356,9 +364,11 @@ mod tests {
     fn multi_node_distribution_tracks_figure_2() {
         let mix = full_mix(6);
         let mut counts = std::collections::HashMap::new();
-        for j in mix.jobs.iter().filter(|j| {
-            matches!(j.class, JobClass::UntracedMulti | JobClass::CfdPerNode)
-        }) {
+        for j in mix
+            .jobs
+            .iter()
+            .filter(|j| matches!(j.class, JobClass::UntracedMulti | JobClass::CfdPerNode))
+        {
             *counts.entry(j.nodes).or_insert(0usize) += 1;
         }
         // Large jobs must exist: Figure 2's "large parallel jobs dominated

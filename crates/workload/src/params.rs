@@ -101,23 +101,13 @@ pub const INPUT_SIZE_MIX: [(u64, u32); 6] = [
 /// Small-record palette for reads (Figure 4: "96.1 % of all reads were for
 /// fewer than 4000 bytes", with spikes at application-specific sizes and a
 /// small peak at the 4 KB block size). Entries are `(bytes, weight)`.
-pub const READ_RECORD_MIX: [(u32, u32); 5] = [
-    (80, 10),
-    (512, 30),
-    (1024, 25),
-    (2048, 25),
-    (4096, 10),
-];
+pub const READ_RECORD_MIX: [(u32, u32); 5] =
+    [(80, 10), (512, 30), (1024, 25), (2048, 25), (4096, 10)];
 
 /// Small-record palette for writes (Figure 4 discussion: "89.4 % of all
 /// writes were for fewer than 4000 bytes").
-pub const WRITE_RECORD_MIX: [(u32, u32); 5] = [
-    (128, 10),
-    (512, 25),
-    (1024, 30),
-    (2048, 25),
-    (4096, 10),
-];
+pub const WRITE_RECORD_MIX: [(u32, u32); 5] =
+    [(128, 10), (512, 25), (1024, 30), (2048, 25), (4096, 10)];
 
 /// Fraction of record-structured files whose size is *not* a multiple of
 /// the record, leaving a partial final request. Drives Table 3:
@@ -233,8 +223,7 @@ mod tests {
     fn offered_load_matches_durations() {
         // ρ = Σ jobs·duration / trace length should be near OFFERED_LOAD.
         let single = SINGLE_NODE_JOBS as f64 * SINGLE_NODE_MEAN_DURATION.as_secs_f64();
-        let multi = (TOTAL_JOBS - SINGLE_NODE_JOBS) as f64
-            * MULTI_NODE_MEAN_DURATION.as_secs_f64();
+        let multi = (TOTAL_JOBS - SINGLE_NODE_JOBS) as f64 * MULTI_NODE_MEAN_DURATION.as_secs_f64();
         let rho = (single + multi) / (TRACE_HOURS as f64 * 3600.0);
         assert!(
             (rho - OFFERED_LOAD).abs() < 0.15,
@@ -259,9 +248,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         let mix = [(1u32, 90), (2, 10)];
         let n = 10_000;
-        let ones = (0..n)
-            .filter(|_| draw_mix(&mix, &mut rng) == 1)
-            .count();
+        let ones = (0..n).filter(|_| draw_mix(&mix, &mut rng) == 1).count();
         let frac = ones as f64 / n as f64;
         assert!((0.87..0.93).contains(&frac), "frac {frac}");
     }

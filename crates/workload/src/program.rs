@@ -135,7 +135,10 @@ mod tests {
             mode: IoMode::Independent,
             truncate: false,
         });
-        p.push(Op::Write { slot: 0, bytes: 100 });
+        p.push(Op::Write {
+            slot: 0,
+            bytes: 100,
+        });
         p.push(Op::Write { slot: 0, bytes: 50 });
         p.push(Op::Close { slot: 0 });
         assert_eq!(p.request_count(), 2);

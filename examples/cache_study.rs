@@ -26,7 +26,10 @@ fn main() {
     println!("  {} events\n", events.len());
 
     println!("I/O-node cache hit rate, 10 I/O nodes (requests fully satisfied):");
-    println!("  {:>8}  {:>7}  {:>7}  {:>7}", "buffers", "LRU", "FIFO", "IPL");
+    println!(
+        "  {:>8}  {:>7}  {:>7}  {:>7}",
+        "buffers", "LRU", "FIFO", "IPL"
+    );
     for buffers in [50usize, 100, 200, 400, 800, 1600] {
         let mut rates = Vec::new();
         for policy in [Policy::Lru, Policy::Fifo, Policy::Ipl] {

@@ -80,8 +80,14 @@ fn main() {
 
     let s = cfs.stats();
     println!("\ncampaign totals:");
-    println!("  reads  : {:>8} requests, {:>10} bytes", s.reads, s.bytes_read);
-    println!("  writes : {:>8} requests, {:>10} bytes", s.writes, s.bytes_written);
+    println!(
+        "  reads  : {:>8} requests, {:>10} bytes",
+        s.reads, s.bytes_read
+    );
+    println!(
+        "  writes : {:>8} requests, {:>10} bytes",
+        s.writes, s.bytes_written
+    );
     println!(
         "  I/O-node cache: {} hits / {} misses ({:.1}% hit rate)",
         s.cache_hits,

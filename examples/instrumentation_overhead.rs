@@ -14,8 +14,8 @@
 //! cargo run --release --example instrumentation_overhead
 //! ```
 
-use charisma::prelude::*;
 use charisma::ipsc::Duration;
+use charisma::prelude::*;
 
 /// Cost of appending one event record to the node-local 4 KB buffer
 /// (a few dozen i860 instructions plus a gettime call).
@@ -52,7 +52,14 @@ fn run_benchmark(instrumented: bool) -> f64 {
     let mut sessions = Vec::new();
     for n in 0..nodes {
         let o = cfs
-            .open(1, &format!("nht1/out{n}"), Access::Write, IoMode::Independent, n, false)
+            .open(
+                1,
+                &format!("nht1/out{n}"),
+                Access::Write,
+                IoMode::Independent,
+                n,
+                false,
+            )
             .expect("open");
         charge(n, &mut clock, &mut records);
         sessions.push(o.session);
@@ -75,12 +82,21 @@ fn run_benchmark(instrumented: bool) -> f64 {
     // Phase 2: every node reads its file back in small records.
     for n in 0..nodes {
         let o = cfs
-            .open(2, &format!("nht1/out{n}"), Access::Read, IoMode::Independent, n, false)
+            .open(
+                2,
+                &format!("nht1/out{n}"),
+                Access::Read,
+                IoMode::Independent,
+                n,
+                false,
+            )
             .expect("open");
         charge(n, &mut clock, &mut records);
         let i = n as usize;
         for _ in 0..1024 {
-            let out = cfs.read(&machine, o.session, n, 1024, clock[i]).expect("read");
+            let out = cfs
+                .read(&machine, o.session, n, 1024, clock[i])
+                .expect("read");
             clock[i] = out.completion;
             charge(n, &mut clock, &mut records);
         }

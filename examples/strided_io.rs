@@ -60,7 +60,10 @@ fn main() {
         .expect("strided");
     cfs.close(o2.session, 7).expect("close");
 
-    println!("{:<20} {:>10} {:>12} {:>10}", "", "messages", "elapsed", "bytes");
+    println!(
+        "{:<20} {:>10} {:>12} {:>10}",
+        "", "messages", "elapsed", "bytes"
+    );
     for (name, out) in [("small-request loop", lp), ("strided request", st)] {
         println!(
             "{:<20} {:>10} {:>11.4}s {:>10}",

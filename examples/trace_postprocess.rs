@@ -11,9 +11,9 @@
 //! cargo run --release --example trace_postprocess
 //! ```
 
+use charisma::prelude::*;
 use charisma::trace::file::{read_trace, write_trace};
 use charisma::trace::postprocess::fit_all_clocks;
-use charisma::prelude::*;
 
 fn main() {
     let workload = generate(GeneratorConfig {

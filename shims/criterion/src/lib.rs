@@ -1,0 +1,175 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Keeps the workspace's `cargo bench` targets compiling and running without
+//! crates.io access. Each `Bencher::iter` call times a small fixed number of
+//! iterations with `std::time::Instant` and prints a one-line report — no
+//! statistics, no HTML, no CLI filtering. Good enough to smoke-test the
+//! bench targets; not a measurement tool.
+
+use std::time::Instant;
+
+/// How work is scaled when reporting throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Times a single benchmark body.
+pub struct Bencher {
+    iters: u32,
+    last_ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Run and time `f`, retaining mean ns/iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warm-up, then the timed iterations.
+        std::hint::black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.last_ns_per_iter = start.elapsed().as_nanos() as f64 / self.iters as f64;
+    }
+}
+
+fn report(name: &str, ns_per_iter: f64, throughput: Option<Throughput>) {
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!(" ({:.1} Melem/s)", n as f64 / ns_per_iter * 1e3)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!(
+                " ({:.1} MiB/s)",
+                n as f64 / ns_per_iter * 1e9 / (1024.0 * 1024.0)
+            )
+        }
+        None => String::new(),
+    };
+    println!("bench {name:50} {:>14.0} ns/iter{rate}", ns_per_iter);
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            iters: 3,
+            last_ns_per_iter: 0.0,
+        };
+        f(&mut b);
+        report(name, b.last_ns_per_iter, None);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A named group; settings apply to the benches run inside it.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Upstream tunes statistical sample count; the shim times a fixed
+    /// number of iterations, so this is a no-op kept for API parity.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Upstream bounds wall-clock measurement time; no-op here.
+    pub fn measurement_time(&mut self, _d: std::time::Duration) -> &mut Self {
+        self
+    }
+
+    /// Report throughput alongside time for subsequent benches.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            iters: 3,
+            last_ns_per_iter: 0.0,
+        };
+        f(&mut b);
+        report(
+            &format!("{}/{name}", self.name),
+            b.last_ns_per_iter,
+            self.throughput,
+        );
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Opaque hint to the optimizer; re-exported for upstream API parity.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut c = Criterion::default();
+        let mut ran = 0u32;
+        c.bench_function("smoke", |b| b.iter(|| ran += 1));
+        assert!(ran >= 4, "warm-up + timed iterations");
+    }
+
+    #[test]
+    fn group_runs_and_finishes() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10).throughput(Throughput::Elements(100));
+        let mut hits = 0u32;
+        g.bench_function("inner", |b| b.iter(|| hits += 1));
+        g.finish();
+        assert!(hits > 0);
+    }
+}

@@ -1,0 +1,90 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this shim implements the
+//! subset of proptest the workspace's property tests use: the [`proptest!`]
+//! macro, `any::<T>()`, range strategies, tuple strategies, `prop_map`,
+//! `prop_oneof!`, `Just`, and `collection::vec`.
+//!
+//! Differences from upstream, deliberate and documented:
+//! - **No shrinking.** A failing case is not minimized; because the runner
+//!   is deterministic, rerunning the test reproduces the same failure.
+//! - **Deterministic by construction.** Each test's RNG is seeded from a
+//!   hash of the test's name, so failures reproduce exactly across runs —
+//!   there is no `PROPTEST_` environment handling.
+//! - `prop_assert*` are plain `assert*` — a failure panics immediately.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! Single-import surface mirroring `proptest::prelude`.
+    pub use crate::strategy::{any, Any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Number of generated cases per property.
+pub const CASES: u32 = 64;
+
+/// Assert a condition inside a property; mirrors `proptest::prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Assert equality inside a property; mirrors `proptest::prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Assert inequality inside a property; mirrors `proptest::prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Uniformly choose among several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Define property tests. Each function body runs [`CASES`] times with
+/// freshly generated inputs from the declared strategies.
+///
+/// As in upstream proptest, the body may `return Ok(())` early or
+/// `return Err(TestCaseError::fail(..))` to reject a case; a falling-off
+/// end of the body is treated as success.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                for __case in 0..$crate::CASES {
+                    let ($($arg,)+) = (
+                        $($crate::strategy::Strategy::generate(&($strat), &mut __rng),)+
+                    );
+                    let __result: ::core::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = (move || {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })();
+                    if let Err(e) = __result {
+                        panic!("proptest case {} of {}: {e}", __case + 1, stringify!($name));
+                    }
+                }
+            }
+        )*
+    };
+}

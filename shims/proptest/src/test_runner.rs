@@ -1,0 +1,58 @@
+//! Deterministic per-test RNG and the case-failure type.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Why a single generated case failed; mirrors upstream's
+/// `proptest::test_runner::TestCaseError` (minus shrinking machinery).
+#[derive(Clone, Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// A failed case with the given explanation.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError(reason.into())
+    }
+
+    /// Upstream also lets a case reject its inputs; without shrinking we
+    /// treat rejection like failure so bad strategies surface loudly.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// RNG handed to strategies by the [`proptest!`](crate::proptest) harness.
+///
+/// Seeded from an FNV-1a hash of the test name: every test gets an
+/// independent, reproducible stream.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Build the RNG for a named test.
+    pub fn for_test(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng(StdRng::seed_from_u64(h))
+    }
+
+    /// Next raw 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        use rand::RngCore;
+        self.0.next_u64()
+    }
+}
+
+impl rand::RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        TestRng::next_u64(self)
+    }
+}

@@ -30,7 +30,10 @@ fn paper_shapes_hold_end_to_end() {
 
     // --- §4.1: jobs ------------------------------------------------------
     let profile = jobs::concurrency_profile(&chars);
-    assert!(profile[0] > 0.10, "the machine is idle a good fraction of the time");
+    assert!(
+        profile[0] > 0.10,
+        "the machine is idle a good fraction of the time"
+    );
     assert!(
         profile.iter().skip(2).sum::<f64>() > 0.15,
         "multiprogramming is real: >1 job a good fraction of the time"
@@ -52,7 +55,10 @@ fn paper_shapes_hold_end_to_end() {
 
     // --- §4.2: files ------------------------------------------------------
     let cen = census::census(&chars);
-    assert!(cen.write_only > 2 * cen.read_only, "write-only files dominate");
+    assert!(
+        cen.write_only > 2 * cen.read_only,
+        "write-only files dominate"
+    );
     assert!(cen.read_only > cen.read_write || cen.read_only > 500);
     assert!(cen.unaccessed > 0, "open-but-unaccessed files exist");
     assert!(
@@ -63,11 +69,17 @@ fn paper_shapes_hold_end_to_end() {
     let size_cdf = census::size_cdf(&chars);
     // Most files are "large" (10 KB to 1 MB).
     let mid_mass = size_cdf.fraction_le(1_000_000) - size_cdf.fraction_le(10_000);
-    assert!(mid_mass > 0.5, "file-size mass sits in 10KB..1MB: {mid_mass}");
+    assert!(
+        mid_mass > 0.5,
+        "file-size mass sits in 10KB..1MB: {mid_mass}"
+    );
 
     // --- §4.3: request sizes ----------------------------------------------
     let rs = requests::request_sizes(&events);
-    assert!(rs.small_read_fraction() > 0.85, "the vast majority of reads are small");
+    assert!(
+        rs.small_read_fraction() > 0.85,
+        "the vast majority of reads are small"
+    );
     assert!(
         rs.small_read_data_fraction() < 0.10,
         "but they move almost none of the data"
@@ -106,7 +118,11 @@ fn paper_shapes_hold_end_to_end() {
 
     // --- §4.6: modes --------------------------------------------------------
     let mu = modes::mode_usage(&chars);
-    assert!(mu.mode0_fraction() > 0.99, "mode 0 dominates: {}", mu.mode0_fraction());
+    assert!(
+        mu.mode0_fraction() > 0.99,
+        "mode 0 dominates: {}",
+        mu.mode0_fraction()
+    );
 
     // --- §4.7: sharing -------------------------------------------------------
     assert_eq!(
@@ -115,17 +131,32 @@ fn paper_shapes_hold_end_to_end() {
         "no concurrent file sharing between jobs"
     );
     let sh = sharing::sharing_cdfs(&chars);
-    assert!(sh.read_bytes.total() > 0.0, "read-only sharing population exists");
+    assert!(
+        sh.read_bytes.total() > 0.0,
+        "read-only sharing population exists"
+    );
     // More sharing for read-only than write-only files.
     let ro_full = 1.0 - sh.read_bytes.fraction_le(99);
     let wo_none = sh.write_bytes.fraction_le(0);
-    assert!(ro_full > 0.4, "many read-only files fully byte-shared: {ro_full}");
-    assert!(wo_none > 0.7, "most write-only files share no bytes: {wo_none}");
+    assert!(
+        ro_full > 0.4,
+        "many read-only files fully byte-shared: {ro_full}"
+    );
+    assert!(
+        wo_none > 0.7,
+        "most write-only files share no bytes: {wo_none}"
+    );
 
     // --- §4.8: caching -------------------------------------------------------
     let f8 = charisma::cachesim::compute_cache_sim(&events, &index, 1);
-    assert!(f8.fraction_of_jobs_at_zero() > 0.1, "a zero-hit clump exists");
-    assert!(f8.fraction_of_jobs_above(0.75) > 0.2, "a high-hit clump exists");
+    assert!(
+        f8.fraction_of_jobs_at_zero() > 0.1,
+        "a zero-hit clump exists"
+    );
+    assert!(
+        f8.fraction_of_jobs_above(0.75) > 0.2,
+        "a high-hit clump exists"
+    );
     let f8_many = charisma::cachesim::compute_cache_sim(&events, &index, 10);
     assert!(
         (f8.hit_rate() - f8_many.hit_rate()).abs() < 0.1,
@@ -136,7 +167,10 @@ fn paper_shapes_hold_end_to_end() {
 
     let small = charisma::cachesim::io_cache_sim(&events, &index, 10, 100, Policy::Lru);
     let big = charisma::cachesim::io_cache_sim(&events, &index, 10, 2000, Policy::Lru);
-    assert!(big.hit_rate() > 0.8, "a modest I/O-node cache reaches a high hit rate");
+    assert!(
+        big.hit_rate() > 0.8,
+        "a modest I/O-node cache reaches a high hit rate"
+    );
     assert!(big.hit_rate() >= small.hit_rate());
     let fifo = charisma::cachesim::io_cache_sim(&events, &index, 10, 100, Policy::Fifo);
     assert!(
@@ -176,11 +210,7 @@ fn different_seeds_give_different_traces_same_shapes() {
         seed: 2,
         ..Default::default()
     });
-    assert_ne!(
-        postprocess(&a.trace),
-        postprocess(&b.trace),
-        "seeds matter"
-    );
+    assert_ne!(postprocess(&a.trace), postprocess(&b.trace), "seeds matter");
     // But the qualitative shape is seed-independent.
     for w in [a, b] {
         let events = postprocess(&w.trace);

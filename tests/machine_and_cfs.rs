@@ -2,7 +2,7 @@
 //! public facade — multi-job capacity pressure, mode coordination, and
 //! the extension interfaces.
 
-use charisma::cfs::{CollectiveShare, CfsError};
+use charisma::cfs::{CfsError, CollectiveShare};
 use charisma::prelude::*;
 
 fn setup() -> (Machine, Cfs) {
@@ -20,14 +20,27 @@ fn many_jobs_share_the_file_system_without_interference() {
     let mut sessions = Vec::new();
     for job in 0..8u32 {
         let o = cfs
-            .open(job, &format!("job{job}/out"), Access::Write, IoMode::Independent, 0, false)
+            .open(
+                job,
+                &format!("job{job}/out"),
+                Access::Write,
+                IoMode::Independent,
+                0,
+                false,
+            )
             .expect("open");
         sessions.push(o);
     }
     for round in 0..50 {
         for (job, o) in sessions.iter().enumerate() {
             let out = cfs
-                .write(&machine, o.session, 0, 1024, t0 + charisma::ipsc::Duration::from_millis(round))
+                .write(
+                    &machine,
+                    o.session,
+                    0,
+                    1024,
+                    t0 + charisma::ipsc::Duration::from_millis(round),
+                )
                 .expect("write");
             assert_eq!(out.offset, round * 1024, "job {job} pointer is private");
         }
@@ -46,7 +59,14 @@ fn capacity_pressure_hits_no_space_and_delete_recovers() {
     // Write 2 GB files until the disk farm fills.
     'outer: for i in 0..8 {
         let o = cfs
-            .open(1, &format!("big{i}"), Access::Write, IoMode::Independent, 0, false)
+            .open(
+                1,
+                &format!("big{i}"),
+                Access::Write,
+                IoMode::Independent,
+                0,
+                false,
+            )
             .expect("open");
         files.push(o.file);
         for _ in 0..2048 {
@@ -70,7 +90,8 @@ fn capacity_pressure_hits_no_space_and_delete_recovers() {
     let o = cfs
         .open(2, "after", Access::Write, IoMode::Independent, 0, false)
         .expect("open");
-    cfs.write(&machine, o.session, 0, 1 << 20, t0).expect("write fits again");
+    cfs.write(&machine, o.session, 0, 1 << 20, t0)
+        .expect("write fits again");
 }
 
 #[test]
@@ -87,7 +108,9 @@ fn mode_coordination_across_a_whole_job() {
     }
     for round in 0..6u64 {
         for n in 0..4u16 {
-            let out = cfs.write(&machine, session, n, 512, t0).expect("turn write");
+            let out = cfs
+                .write(&machine, session, n, 512, t0)
+                .expect("turn write");
             assert_eq!(
                 out.offset,
                 (round * 4 + u64::from(n)) * 512,
@@ -100,7 +123,9 @@ fn mode_coordination_across_a_whole_job() {
         cfs.write(&machine, session, 0, 100, t0),
         Err(CfsError::SizeMismatch { .. })
     ));
-    let out = cfs.write(&machine, session, 0, 512, t0).expect("retry in turn");
+    let out = cfs
+        .write(&machine, session, 0, 512, t0)
+        .expect("retry in turn");
     assert_eq!(out.offset, 24 * 512);
 }
 
@@ -112,7 +137,8 @@ fn strided_and_collective_interfaces_compose_with_the_machine() {
     let o = cfs
         .open(1, "data", Access::Write, IoMode::Independent, 0, false)
         .expect("open");
-    cfs.write(&machine, o.session, 0, 1 << 20, t0).expect("stage");
+    cfs.write(&machine, o.session, 0, 1 << 20, t0)
+        .expect("stage");
     cfs.close(o.session, 0).expect("close");
 
     // 4 nodes read it collectively...
@@ -149,7 +175,9 @@ fn strided_and_collective_interfaces_compose_with_the_machine() {
         stride: 4096,
         count: 256,
     };
-    let st = cfs.read_strided(&machine, o2.session, 0, spec, t0).expect("strided");
+    let st = cfs
+        .read_strided(&machine, o2.session, 0, spec, t0)
+        .expect("strided");
     assert_eq!(st.bytes, 256 * 256);
     assert!(st.messages <= 20, "one round trip per I/O node");
 }
@@ -173,7 +201,14 @@ fn hypercube_distances_shape_io_latency() {
     let mut t_far = SimTime::ZERO;
     for (node, out) in [(near, &mut t_near), (far, &mut t_far)] {
         let o = cfs
-            .open(10 + u32::from(node), "f", Access::Read, IoMode::Independent, node, false)
+            .open(
+                10 + u32::from(node),
+                "f",
+                Access::Read,
+                IoMode::Independent,
+                node,
+                false,
+            )
             .expect("open");
         let r = cfs.read(&machine, o.session, node, 512, t0).expect("read");
         *out = r.completion;

@@ -121,9 +121,10 @@ fn drift_correction_beats_raw_local_timestamps() {
                 EventBody::Open { session, .. } => *live.entry(session).or_insert(0) += 1,
                 EventBody::Close { session, .. } => *live.entry(session).or_insert(0) -= 1,
                 EventBody::Read { session, .. } | EventBody::Write { session, .. }
-                    if live.get(&session).copied().unwrap_or(0) <= 0 => {
-                        bad += 1;
-                    }
+                    if live.get(&session).copied().unwrap_or(0) <= 0 =>
+                {
+                    bad += 1;
+                }
                 _ => {}
             }
         }
