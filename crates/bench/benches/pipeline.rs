@@ -3,6 +3,7 @@
 
 use charisma_trace::file::{read_trace, write_trace};
 use charisma_trace::postprocess;
+use charisma_workload::shard::generate_sharded;
 use charisma_workload::{generate, GeneratorConfig};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
@@ -36,5 +37,29 @@ fn bench_pipeline(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_pipeline);
+/// Serial vs parallel sharded generation at a realistic scale: the same
+/// fixed 16-shard plan executed on 1 worker thread vs 8. Both produce
+/// byte-identical merged streams (charisma-verify proves it), so this
+/// measures pure execution-width speedup.
+fn bench_sharded(c: &mut Criterion) {
+    let config = GeneratorConfig::test_scale(0.25);
+    let events = generate_sharded(&config, 1).event_count() as u64;
+
+    let mut g = c.benchmark_group("sharded_generation");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(events));
+
+    for workers in [1usize, 2, 4, 8] {
+        g.bench_function(&format!("scale_0.25_workers_{workers}"), |b| {
+            b.iter(|| black_box(generate_sharded(black_box(&config), workers)))
+        });
+    }
+    g.bench_function("scale_0.25_merge", |b| {
+        let sharded = generate_sharded(&config, 8);
+        b.iter(|| black_box(sharded.merged_events().count()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline, bench_sharded);
 criterion_main!(benches);

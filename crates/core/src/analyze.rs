@@ -292,10 +292,40 @@ pub fn analyze<'a, I>(events: I) -> Characterization
 where
     I: IntoIterator<Item = &'a OrderedEvent>,
 {
-    let mut c = Characterization::default();
-    // file → sessions that opened it (for delete attribution).
-    let mut file_sessions: HashMap<u32, Vec<u32>> = HashMap::new();
+    let mut a = Analyzer::new();
     for e in events {
+        a.push(e);
+    }
+    a.finish()
+}
+
+/// The incremental form of [`analyze`]: feed events one at a time.
+///
+/// The sharded pipeline's k-way merge yields events as a streaming
+/// iterator; this accumulator lets the analysis consume it in the same
+/// pass that materializes the stream, instead of requiring a `Vec` first.
+#[derive(Debug, Default)]
+pub struct Analyzer {
+    c: Characterization,
+    /// file → sessions that opened it (for delete attribution).
+    file_sessions: HashMap<u32, Vec<u32>>,
+}
+
+impl Analyzer {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consume the accumulator, yielding the finished characterization.
+    pub fn finish(self) -> Characterization {
+        self.c
+    }
+
+    /// Account one event. Events must arrive in rectified stream order.
+    pub fn push(&mut self, e: &OrderedEvent) {
+        let c = &mut self.c;
+        let file_sessions = &mut self.file_sessions;
         c.horizon = c.horizon.max(e.time);
         match e.body {
             EventBody::JobStart { job, nodes, traced } => {
@@ -373,7 +403,6 @@ where
             }
         }
     }
-    c
 }
 
 #[cfg(test)]

@@ -32,5 +32,5 @@ pub mod requests;
 pub mod sequential;
 pub mod sharing;
 
-pub use analyze::{analyze, Characterization, JobInfo, SessionStat};
+pub use analyze::{analyze, Analyzer, Characterization, JobInfo, SessionStat};
 pub use cdf::Cdf;

@@ -6,7 +6,7 @@ use std::fmt::Write as _;
 
 use charisma_trace::OrderedEvent;
 
-use crate::analyze::{analyze, Characterization, SessionClass};
+use crate::analyze::{analyze, Analyzer, Characterization, SessionClass};
 use crate::census;
 use crate::intervals;
 use crate::jobs;
@@ -30,6 +30,29 @@ impl Report {
         Report {
             chars: analyze(events),
             request_sizes: requests::request_sizes(events),
+        }
+    }
+
+    /// Analyze a *streaming* ordered event source in a single pass.
+    ///
+    /// The sharded pipeline's k-way merge yields events as an iterator;
+    /// this entry point consumes it without materializing a `Vec` first
+    /// (and without the two passes [`Self::from_events`] makes over its
+    /// slice). Events must arrive in rectified stream order.
+    pub fn from_stream<I>(events: I) -> Report
+    where
+        I: IntoIterator<Item = OrderedEvent>,
+    {
+        let mut analyzer = Analyzer::new();
+        let mut sizes = requests::RequestSizes::new();
+        for e in events {
+            analyzer.push(&e);
+            sizes.push(&e);
+        }
+        sizes.seal();
+        Report {
+            chars: analyzer.finish(),
+            request_sizes: sizes,
         }
     }
 

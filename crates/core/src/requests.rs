@@ -23,6 +23,41 @@ pub struct RequestSizes {
 }
 
 impl RequestSizes {
+    /// Empty (unsealed) curves, for incremental accumulation via [`Self::push`].
+    pub fn new() -> Self {
+        RequestSizes {
+            reads_by_count: Cdf::new(),
+            reads_by_bytes: Cdf::new(),
+            writes_by_count: Cdf::new(),
+            writes_by_bytes: Cdf::new(),
+        }
+    }
+
+    /// Account one event (reads and writes; everything else is ignored).
+    pub fn push(&mut self, e: &OrderedEvent) {
+        match e.body {
+            EventBody::Read { bytes, .. } => {
+                self.reads_by_count.add(u64::from(bytes));
+                self.reads_by_bytes
+                    .add_weighted(u64::from(bytes), f64::from(bytes));
+            }
+            EventBody::Write { bytes, .. } => {
+                self.writes_by_count.add(u64::from(bytes));
+                self.writes_by_bytes
+                    .add_weighted(u64::from(bytes), f64::from(bytes));
+            }
+            _ => {}
+        }
+    }
+
+    /// Seal the curves once the stream ends; fractions are valid after.
+    pub fn seal(&mut self) {
+        self.reads_by_count.seal();
+        self.reads_by_bytes.seal();
+        self.writes_by_count.seal();
+        self.writes_by_bytes.seal();
+    }
+
     /// Fraction of reads smaller than 4000 bytes (paper: 96.1 %).
     pub fn small_read_fraction(&self) -> f64 {
         self.reads_by_count.fraction_le(3999)
@@ -49,32 +84,18 @@ pub fn request_sizes<'a, I>(events: I) -> RequestSizes
 where
     I: IntoIterator<Item = &'a OrderedEvent>,
 {
-    let mut out = RequestSizes {
-        reads_by_count: Cdf::new(),
-        reads_by_bytes: Cdf::new(),
-        writes_by_count: Cdf::new(),
-        writes_by_bytes: Cdf::new(),
-    };
+    let mut out = RequestSizes::new();
     for e in events {
-        match e.body {
-            EventBody::Read { bytes, .. } => {
-                out.reads_by_count.add(u64::from(bytes));
-                out.reads_by_bytes
-                    .add_weighted(u64::from(bytes), f64::from(bytes));
-            }
-            EventBody::Write { bytes, .. } => {
-                out.writes_by_count.add(u64::from(bytes));
-                out.writes_by_bytes
-                    .add_weighted(u64::from(bytes), f64::from(bytes));
-            }
-            _ => {}
-        }
+        out.push(e);
     }
-    out.reads_by_count.seal();
-    out.reads_by_bytes.seal();
-    out.writes_by_count.seal();
-    out.writes_by_bytes.seal();
+    out.seal();
     out
+}
+
+impl Default for RequestSizes {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 #[cfg(test)]

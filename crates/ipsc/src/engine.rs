@@ -52,8 +52,16 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// An empty queue.
     pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// An empty queue with space for `capacity` pending events.
+    ///
+    /// Sharded generation runs one queue per shard and knows each shard's
+    /// job count up front; pre-sizing avoids rehash churn on the hot path.
+    pub fn with_capacity(capacity: usize) -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            heap: BinaryHeap::with_capacity(capacity),
             seq: 0,
             #[cfg(feature = "invariants")]
             last_popped: None,
@@ -138,6 +146,16 @@ mod tests {
         assert_eq!(q.pop(), Some((SimTime::from_secs(4), 'z')));
         assert_eq!(q.pop(), Some((SimTime::from_secs(10), 'x')));
         assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut q = EventQueue::with_capacity(16);
+        q.push(SimTime::from_secs(2), "b");
+        q.push(SimTime::from_secs(1), "a");
+        assert_eq!(q.pop(), Some((SimTime::from_secs(1), "a")));
+        assert_eq!(q.pop(), Some((SimTime::from_secs(2), "b")));
         assert_eq!(q.pop(), None);
     }
 

@@ -15,15 +15,18 @@
 //! * [`codec`] — a compact binary encoding with a self-descriptive header;
 //! * [`builder`] — per-node 4 KB buffering plus the service-node collector;
 //! * [`postprocess`] — drift estimation and chronological rectification;
+//! * [`merge`] — deterministic k-way merge of per-shard rectified streams;
 //! * [`file`] — writing and reading trace files.
 
 pub mod builder;
 pub mod codec;
 pub mod file;
+pub mod merge;
 pub mod postprocess;
 pub mod record;
 
 pub use builder::{Block, Trace, TraceBuilder};
+pub use merge::{merge_shards, MergedEvents};
 pub use postprocess::{postprocess, OrderedEvent};
 pub use record::{
     AccessKind, Event, EventBody, FileId, JobId, SessionId, TraceHeader, SERVICE_NODE,

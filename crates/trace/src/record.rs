@@ -147,6 +147,62 @@ impl EventBody {
         }
     }
 
+    /// The same event with its session and file identifiers rebased by
+    /// `base`.
+    ///
+    /// Sharded generation runs each shard on an independent CFS whose
+    /// session/file counters all start at zero; rebasing by a per-shard
+    /// base (shard id in the high bits) keeps identities globally unique
+    /// in the merged stream. Job identifiers come from the global mix and
+    /// are already unique, so they are left untouched.
+    #[must_use]
+    pub fn with_id_base(self, base: u32) -> EventBody {
+        match self {
+            EventBody::Open {
+                job,
+                file,
+                session,
+                mode,
+                access,
+                created,
+            } => EventBody::Open {
+                job,
+                file: file + base,
+                session: session + base,
+                mode,
+                access,
+                created,
+            },
+            EventBody::Close { session, size } => EventBody::Close {
+                session: session + base,
+                size,
+            },
+            EventBody::Read {
+                session,
+                offset,
+                bytes,
+            } => EventBody::Read {
+                session: session + base,
+                offset,
+                bytes,
+            },
+            EventBody::Write {
+                session,
+                offset,
+                bytes,
+            } => EventBody::Write {
+                session: session + base,
+                offset,
+                bytes,
+            },
+            EventBody::Delete { job, file } => EventBody::Delete {
+                job,
+                file: file + base,
+            },
+            job_event @ (EventBody::JobStart { .. } | EventBody::JobEnd { .. }) => job_event,
+        }
+    }
+
     /// Bytes of payload following the 9-byte (tag + timestamp) prefix.
     /// Total by construction, unlike [`crate::codec::payload_len`] which
     /// must handle arbitrary on-disk tags.

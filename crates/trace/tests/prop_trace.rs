@@ -4,8 +4,10 @@ use charisma_ipsc::{DriftClock, Duration, SimTime};
 use charisma_trace::builder::TraceBuilder;
 use charisma_trace::codec;
 use charisma_trace::file::{read_trace, write_trace};
+use charisma_trace::merge::merge_shards;
 use charisma_trace::postprocess::postprocess;
 use charisma_trace::record::{AccessKind, Event, EventBody, TraceHeader};
+use charisma_trace::OrderedEvent;
 use proptest::prelude::*;
 
 fn arb_body() -> impl Strategy<Value = EventBody> {
@@ -160,5 +162,47 @@ proptest! {
             }
         }
         prop_assert_eq!(got_per_node, expected_per_node);
+    }
+
+    /// The k-way shard merge is a *stable total order*: against adversarial
+    /// shard timings (heavy ties in both time and node), its output equals
+    /// an independent sort-based oracle — each shard stable-sorted by
+    /// `(time, node)`, then globally ordered by `(time, node, shard, seq)`.
+    /// Heap pop order vs. comparison sort is exactly the kind of
+    /// equivalence that silently breaks when a tiebreak is dropped.
+    #[test]
+    fn merge_matches_sort_oracle(
+        shards in proptest::collection::vec(
+            proptest::collection::vec((0u64..16, 0u16..4, any::<u32>()), 0..60),
+            0..6,
+        ),
+    ) {
+        let shards: Vec<Vec<OrderedEvent>> = shards
+            .into_iter()
+            .map(|stream| {
+                stream
+                    .into_iter()
+                    .map(|(t, node, session)| OrderedEvent {
+                        time: SimTime::from_micros(t),
+                        node,
+                        body: EventBody::Read { session, offset: 0, bytes: 1 },
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let mut oracle = Vec::new();
+        for (shard, stream) in shards.iter().enumerate() {
+            let mut sorted = stream.clone();
+            sorted.sort_by_key(|e| (e.time, e.node));
+            for (seq, e) in sorted.into_iter().enumerate() {
+                oracle.push(((e.time, e.node, shard, seq), e));
+            }
+        }
+        oracle.sort_by_key(|entry| entry.0);
+        let oracle: Vec<OrderedEvent> = oracle.into_iter().map(|(_, e)| e).collect();
+
+        let merged = merge_shards(shards);
+        prop_assert_eq!(merged, oracle);
     }
 }

@@ -13,8 +13,11 @@
 //!   nondeterminism;
 //! - [`check_pipeline_determinism`] instantiates it on the real pipeline.
 
+use charisma_core::report::Report;
 use charisma_trace::codec;
 use charisma_trace::postprocess::postprocess;
+use charisma_trace::OrderedEvent;
+use charisma_workload::shard::generate_sharded;
 use charisma_workload::{generate, GeneratorConfig};
 
 /// Where in the pipeline the record streams first disagreed.
@@ -109,20 +112,9 @@ where
     }
 }
 
-/// Every record the pipeline emits for `seed` at `scale`, encoded.
-///
-/// The stream interleaves three layers so a divergence pinpoints the stage
-/// that broke: the trace header, each raw per-node record (with its block's
-/// node and timestamps), and each postprocessed ordered record.
-pub fn pipeline_record_stream(seed: u64, scale: f64) -> Vec<Vec<u8>> {
-    let workload = generate(GeneratorConfig {
-        scale,
-        seed,
-        ..Default::default()
-    });
-    let trace = &workload.trace;
-
-    let mut records = Vec::with_capacity(trace.event_count() * 2 + 1);
+/// Append one raw trace's records — header, per-node block heads, events —
+/// onto `records`.
+fn push_trace_records(records: &mut Vec<Vec<u8>>, trace: &charisma_trace::Trace) {
     let mut buf = Vec::new();
     codec::encode_header(&trace.header, &mut buf);
     records.push(buf);
@@ -139,17 +131,80 @@ pub fn pipeline_record_stream(seed: u64, scale: f64) -> Vec<Vec<u8>> {
             records.push(rec);
         }
     }
+}
 
-    for ordered in postprocess(trace) {
-        let mut rec = Vec::with_capacity(26);
-        rec.extend_from_slice(&ordered.node.to_le_bytes());
-        let event = charisma_trace::record::Event {
-            local_time: ordered.time,
-            body: ordered.body,
-        };
-        codec::encode_event(&event, &mut rec);
-        records.push(rec);
+/// Encode one rectified, globally ordered event as a record.
+fn ordered_record(ordered: &OrderedEvent) -> Vec<u8> {
+    let mut rec = Vec::with_capacity(26);
+    rec.extend_from_slice(&ordered.node.to_le_bytes());
+    let event = charisma_trace::record::Event {
+        local_time: ordered.time,
+        body: ordered.body,
+    };
+    codec::encode_event(&event, &mut rec);
+    rec
+}
+
+/// Every record the pipeline emits for `seed` at `scale`, encoded.
+///
+/// The stream interleaves four layers so a divergence pinpoints the stage
+/// that broke: the trace header, each raw per-node record (with its block's
+/// node and timestamps), each postprocessed ordered record, and finally the
+/// rendered analysis report — so a nondeterministic *analysis* (e.g.
+/// hash-ordered iteration inside a figure) is caught even when the event
+/// streams agree.
+pub fn pipeline_record_stream(seed: u64, scale: f64) -> Vec<Vec<u8>> {
+    let workload = generate(GeneratorConfig {
+        scale,
+        seed,
+        ..Default::default()
+    });
+    let trace = &workload.trace;
+
+    let mut records = Vec::with_capacity(trace.event_count() * 2 + 2);
+    push_trace_records(&mut records, trace);
+
+    let events = postprocess(trace);
+    for ordered in &events {
+        records.push(ordered_record(ordered));
     }
+
+    let report = Report::from_stream(events);
+    records.push(report.render().into_bytes());
+
+    records
+}
+
+/// Every record the *sharded* pipeline emits for `seed` at `scale` on
+/// `workers` threads, encoded.
+///
+/// Layers, in order: each shard's raw trace (header + blocks + events, in
+/// shard order), then the deterministically merged ordered stream, then the
+/// rendered analysis report. The workload is always partitioned into
+/// [`charisma_workload::shard::LOGICAL_SHARDS`] logical shards regardless
+/// of `workers`, so this stream must be byte-identical for every worker
+/// count — [`check_shard_equivalence`] is that claim as a check.
+pub fn sharded_record_stream(seed: u64, scale: f64, workers: usize) -> Vec<Vec<u8>> {
+    let sharded = generate_sharded(
+        &GeneratorConfig {
+            scale,
+            seed,
+            ..Default::default()
+        },
+        workers,
+    );
+
+    let mut records = Vec::with_capacity(sharded.event_count() * 2 + 2);
+    for shard in &sharded.shards {
+        push_trace_records(&mut records, &shard.trace);
+    }
+
+    let report = Report::from_stream(
+        sharded
+            .merged_events()
+            .inspect(|e| records.push(ordered_record(e))),
+    );
+    records.push(report.render().into_bytes());
 
     records
 }
@@ -159,5 +214,27 @@ pub fn check_pipeline_determinism(seed: u64, scale: f64) -> DeterminismReport {
     check_determinism(
         pipeline_record_stream(seed, scale),
         pipeline_record_stream(seed, scale),
+    )
+}
+
+/// Run the sharded pipeline twice on `workers` threads and diff the
+/// record streams — catches racy merge state or cross-thread ordering
+/// leaks that a single run can't see.
+pub fn check_sharded_determinism(seed: u64, scale: f64, workers: usize) -> DeterminismReport {
+    check_determinism(
+        sharded_record_stream(seed, scale, workers),
+        sharded_record_stream(seed, scale, workers),
+    )
+}
+
+/// Diff the serial (1-worker) sharded run against a `workers`-thread run.
+///
+/// This is the pipeline's central guarantee: worker count is an execution
+/// detail, not an input. Any divergence means the partition, the per-shard
+/// RNG derivation, or the merge depends on scheduling.
+pub fn check_shard_equivalence(seed: u64, scale: f64, workers: usize) -> DeterminismReport {
+    check_determinism(
+        sharded_record_stream(seed, scale, 1),
+        sharded_record_stream(seed, scale, workers),
     )
 }

@@ -20,5 +20,8 @@
 pub mod determinism;
 pub mod lint;
 
-pub use determinism::{check_pipeline_determinism, DeterminismReport, Divergence};
+pub use determinism::{
+    check_pipeline_determinism, check_shard_equivalence, check_sharded_determinism,
+    DeterminismReport, Divergence,
+};
 pub use lint::{lint_workspace, Finding, LintConfig, Rule};

@@ -2,8 +2,12 @@
 //!
 //! ```text
 //! charisma-verify lint [--root DIR]
-//! charisma-verify determinism [--seed N] [--scale F]
+//! charisma-verify determinism [--seed N] [--scale F] [--shards N]
 //! ```
+//!
+//! With `--shards N`, the determinism check runs the sharded pipeline on
+//! `N` worker threads — twice for repeatability, and once against the
+//! serial (1-worker) run to prove worker count does not change the output.
 //!
 //! Both subcommands exit 0 on success and 1 on violation/divergence, so the
 //! binary slots directly into CI.
@@ -11,14 +15,19 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use charisma_verify::{check_pipeline_determinism, lint_workspace, LintConfig};
+use charisma_verify::{
+    check_pipeline_determinism, check_shard_equivalence, check_sharded_determinism, lint_workspace,
+    LintConfig,
+};
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: charisma-verify <command>\n\n\
          commands:\n\
            lint         [--root DIR]            run the CH001-CH004 static pass\n\
-           determinism  [--seed N] [--scale F]  prove two same-seed pipeline runs agree"
+           determinism  [--seed N] [--scale F] [--shards N]\n\
+                        prove two same-seed pipeline runs agree; with --shards,\n\
+                        run sharded on N workers and also diff against serial"
     );
     ExitCode::from(2)
 }
@@ -92,35 +101,69 @@ fn parsed_flag<T: std::str::FromStr>(args: &[String], flag: &str, default: T) ->
 }
 
 fn run_determinism(args: &[String]) -> ExitCode {
-    let (seed, scale) = match (
+    let (seed, scale, shards) = match (
         parsed_flag(args, "--seed", 4994u64),
         parsed_flag(args, "--scale", 0.05f64),
+        parsed_flag(args, "--shards", 0usize),
     ) {
-        (Ok(seed), Ok(scale)) => (seed, scale),
-        (Err(e), _) | (_, Err(e)) => {
+        (Ok(seed), Ok(scale), Ok(shards)) => (seed, scale, shards),
+        (Err(e), _, _) | (_, Err(e), _) | (_, _, Err(e)) => {
             eprintln!("charisma-verify determinism: {e}");
             return ExitCode::from(2);
         }
     };
-    println!("charisma-verify determinism: seed={seed} scale={scale}, running pipeline twice...");
-    let report = check_pipeline_determinism(seed, scale);
+
+    if shards == 0 {
+        println!(
+            "charisma-verify determinism: seed={seed} scale={scale}, running pipeline twice..."
+        );
+        return report_outcome("pipeline", &check_pipeline_determinism(seed, scale));
+    }
+
+    println!(
+        "charisma-verify determinism: seed={seed} scale={scale} shards={shards}, \
+         running sharded pipeline twice..."
+    );
+    if !print_outcome("sharded", &check_sharded_determinism(seed, scale, shards)) {
+        return ExitCode::FAILURE;
+    }
+    println!("comparing {shards}-worker run against the serial run...");
+    if !print_outcome(
+        "serial-vs-sharded",
+        &check_shard_equivalence(seed, scale, shards),
+    ) {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn report_outcome(label: &str, report: &charisma_verify::DeterminismReport) -> ExitCode {
+    if print_outcome(label, report) {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Print a determinism report; `true` means the streams agreed.
+fn print_outcome(label: &str, report: &charisma_verify::DeterminismReport) -> bool {
     match &report.divergence {
         None => {
             println!(
-                "deterministic: {} records, stream hash {:#018x}",
+                "{label} deterministic: {} records, stream hash {:#018x}",
                 report.records_checked, report.stream_hash
             );
-            ExitCode::SUCCESS
+            true
         }
         Some(d) => {
-            println!("DIVERGENCE at record {}:", d.index);
+            println!("{label} DIVERGENCE at record {}:", d.index);
             println!("  run 1: {}", truncated(&d.first));
             println!("  run 2: {}", truncated(&d.second));
             println!(
                 "({} records agreed before the divergence)",
                 report.records_checked
             );
-            ExitCode::FAILURE
+            false
         }
     }
 }

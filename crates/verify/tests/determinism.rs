@@ -1,8 +1,8 @@
 //! The determinism harness must pass on the real pipeline and fail loudly
 //! on injected nondeterminism.
 
-use charisma_verify::check_pipeline_determinism;
 use charisma_verify::determinism::{check_determinism, pipeline_record_stream};
+use charisma_verify::{check_pipeline_determinism, check_shard_equivalence};
 
 #[test]
 fn seed_pipeline_is_deterministic() {
@@ -63,4 +63,34 @@ fn stream_hash_is_stable_across_runs() {
     let b = check_pipeline_determinism(77, 0.02);
     assert_eq!(a.stream_hash, b.stream_hash);
     assert_eq!(a.records_checked, b.records_checked);
+}
+
+/// The sharded pipeline's core guarantee: worker count is invisible in the
+/// output. Every layer of the record stream — per-shard raw traces, the
+/// merged ordered stream, and the rendered analysis report — must be
+/// byte-identical whether the shards run serially or on N threads.
+#[test]
+fn worker_count_does_not_change_any_layer() {
+    for workers in [2, 8] {
+        let report = check_shard_equivalence(4994, 0.02, workers);
+        assert!(
+            report.is_deterministic(),
+            "serial vs {workers} workers diverged: {:?}",
+            report.divergence
+        );
+        assert!(report.records_checked > 1000, "suspiciously small trace");
+    }
+}
+
+/// The analysis report is part of the hashed stream, so nondeterministic
+/// *analysis* (not just generation) would be caught. Different seeds must
+/// still diverge — including in that final report record.
+#[test]
+fn sharded_streams_differ_across_seeds() {
+    use charisma_verify::determinism::sharded_record_stream;
+    let report = check_determinism(
+        sharded_record_stream(1, 0.02, 2),
+        sharded_record_stream(2, 0.02, 2),
+    );
+    assert!(!report.is_deterministic());
 }

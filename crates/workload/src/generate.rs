@@ -85,6 +85,16 @@ pub fn generate(config: GeneratorConfig) -> GeneratedWorkload {
     Generator::new(config).run()
 }
 
+/// Run one shard: a pre-planned job subset on its own machine and CFS.
+pub(crate) fn generate_with_mix(
+    config: GeneratorConfig,
+    seed: u64,
+    dataset_count: usize,
+    mix: Mix,
+) -> GeneratedWorkload {
+    Generator::with_mix(config, seed, dataset_count, mix).run()
+}
+
 // ---------------------------------------------------------------------------
 
 #[derive(Debug)]
@@ -122,8 +132,20 @@ struct Dataset {
     in_use: bool,
 }
 
+/// Size of the shared-dataset pool staged before tracing begins, for a
+/// generator hosting `scale` worth of the job population.
+pub(crate) fn dataset_pool_size(scale: f64) -> usize {
+    let count = ((params::DATASET_FILES as f64) * scale.clamp(0.1, 1.0)).round() as usize;
+    count.max(4)
+}
+
 struct Generator {
-    config: GeneratorConfig,
+    /// RNG seed for this generator's machine boot and dataset staging (the
+    /// config seed for the monolithic path; a shard-derived seed when
+    /// sharded).
+    seed: u64,
+    /// Shared-dataset pool size to stage.
+    dataset_count: usize,
     machine: Machine,
     cfs: Cfs,
     trace: Option<TraceBuilder>,
@@ -140,14 +162,45 @@ impl Generator {
     fn new(config: GeneratorConfig) -> Self {
         let mut rng = StdRng::seed_from_u64(config.seed);
         let machine = Machine::boot(config.machine.clone(), &mut rng);
-        let cfs = Cfs::new(config.cfs.clone());
         let mix = Mix::plan(Scale(config.scale), &mut rng);
+        let seed = config.seed;
+        let dataset_count = dataset_pool_size(config.scale);
+        Self::from_parts(config, seed, dataset_count, machine, mix)
+    }
+
+    /// Build a generator over a pre-planned job set.
+    ///
+    /// This is the sharded entry point: the caller plans the global mix
+    /// once, partitions it, and hands each shard its own sub-mix plus a
+    /// shard-derived `seed` (used for the machine's clock drifts, the
+    /// dataset staging, and the trace header's provenance field). The
+    /// shard's dataset pool is sized by the caller — a shard hosts only a
+    /// fraction of the jobs, so it needs only a fraction of the pool.
+    pub(crate) fn with_mix(
+        config: GeneratorConfig,
+        seed: u64,
+        dataset_count: usize,
+        mix: Mix,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let machine = Machine::boot(config.machine.clone(), &mut rng);
+        Self::from_parts(config, seed, dataset_count, machine, mix)
+    }
+
+    fn from_parts(
+        config: GeneratorConfig,
+        seed: u64,
+        dataset_count: usize,
+        machine: Machine,
+        mix: Mix,
+    ) -> Self {
+        let cfs = Cfs::new(config.cfs.clone());
         let header = TraceHeader {
             version: TraceHeader::VERSION,
             compute_nodes: config.machine.compute_nodes() as u32,
             io_nodes: config.machine.io_nodes as u32,
             block_bytes: 4096,
-            seed: config.seed,
+            seed,
         };
         let clocks = (0..config.machine.compute_nodes())
             .map(|n| *machine.clock(n))
@@ -156,12 +209,14 @@ impl Generator {
             .map(|n| machine.service_message_latency(n, 4096))
             .collect();
         let trace = TraceBuilder::new(header, clocks, *machine.service_clock(), latencies);
+        let queue = EventQueue::with_capacity(mix.jobs.len() + 1);
         Generator {
-            config,
+            seed,
+            dataset_count,
             machine,
             cfs,
             trace: Some(trace),
-            queue: EventQueue::new(),
+            queue,
             mix,
             running: HashMap::new(),
             waiting: Vec::new(),
@@ -206,10 +261,8 @@ impl Generator {
     /// they were written before the instrumentation window, or arrived by
     /// Ethernet from the host).
     fn seed_datasets(&mut self) {
-        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0xda7a);
-        let count =
-            ((params::DATASET_FILES as f64) * self.config.scale.clamp(0.1, 1.0)).round() as usize;
-        for i in 0..count.max(4) {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xda7a);
+        for i in 0..self.dataset_count {
             let size = params::draw_mix(&params::INPUT_SIZE_MIX, &mut rng);
             let path = format!("dataset/{i}");
             let open = self

@@ -16,14 +16,19 @@
 //!   broadcast readers, the out-of-core oddball, ...);
 //! * [`mix`] — the job arrival/sizing model;
 //! * [`generate`] — the discrete-event executor that runs the mix on the
-//!   simulated machine + CFS and emits a CHARISMA trace.
+//!   simulated machine + CFS and emits a CHARISMA trace;
+//! * [`shard`] — the sharded parallel driver: partition the mix into
+//!   logical shards, simulate them on worker threads, merge
+//!   deterministically.
 
 pub mod apps;
 pub mod generate;
 pub mod mix;
 pub mod params;
 pub mod program;
+pub mod shard;
 
-pub use generate::{generate, GeneratedWorkload, GeneratorConfig};
+pub use generate::{generate, GenStats, GeneratedWorkload, GeneratorConfig};
 pub use mix::{JobClass, JobPlan, Mix};
 pub use program::{FileSlot, Op, Program};
+pub use shard::{generate_sharded, ShardedWorkload, LOGICAL_SHARDS};

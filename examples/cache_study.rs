@@ -14,14 +14,10 @@
 use charisma::cachesim::{io_cache_sim, Policy, SessionIndex};
 use charisma::prelude::*;
 
-fn main() {
-    println!("Generating trace (10% scale)...");
-    let workload = generate(GeneratorConfig {
-        scale: 0.10,
-        seed: 4994,
-        ..Default::default()
-    });
-    let events = postprocess(&workload.trace);
+fn main() -> Result<(), charisma::Error> {
+    println!("Generating trace (10% scale, 4 workers)...");
+    let out = Pipeline::new().scale(0.10).seed(4994).shards(4).run()?;
+    let events = out.events;
     let index = SessionIndex::build(&events);
     println!("  {} events\n", events.len());
 
@@ -62,4 +58,5 @@ fn main() {
             100.0 * r.fraction_of_jobs_above(0.75)
         );
     }
+    Ok(())
 }

@@ -15,19 +15,16 @@ const NODES: u16 = 32;
 const RECORD: u32 = 512;
 const TIMESTEPS: usize = 3;
 
-fn main() {
+fn main() -> Result<(), charisma::Error> {
     let machine = Machine::boot_synchronized(MachineConfig::nas_ipsc860());
     let mut cfs = Cfs::new(CfsConfig::nas());
     let mut now = SimTime::from_secs(1);
 
     // Stage the shared grid file (256 KB), as the host's staging would.
     let grid_bytes: u32 = 512 * 512;
-    let staged = cfs
-        .open(0, "grid.dat", Access::Write, IoMode::Independent, 0, false)
-        .expect("stage grid");
-    cfs.write(&machine, staged.session, 0, grid_bytes, now)
-        .expect("stage write");
-    cfs.close(staged.session, 0).expect("stage close");
+    let staged = cfs.open(0, "grid.dat", Access::Write, IoMode::Independent, 0, false)?;
+    cfs.write(&machine, staged.session, 0, grid_bytes, now)?;
+    cfs.close(staged.session, 0)?;
 
     let job = 1u32;
     for step in 0..TIMESTEPS {
@@ -35,8 +32,7 @@ fn main() {
         let mut params = 0;
         for n in 0..NODES {
             params = cfs
-                .open(job, "grid.dat", Access::Read, IoMode::Independent, n, false)
-                .expect("param open")
+                .open(job, "grid.dat", Access::Read, IoMode::Independent, n, false)?
                 .session;
         }
         let mut step_end = now;
@@ -47,28 +43,26 @@ fn main() {
             for k in 0..records {
                 let offset = u64::from(k) * u64::from(RECORD) * u64::from(NODES)
                     + u64::from(n) * u64::from(RECORD);
-                cfs.seek(params, n, offset).expect("seek");
-                let out = cfs.read(&machine, params, n, RECORD, now).expect("read");
+                cfs.seek(params, n, offset)?;
+                let out = cfs.read(&machine, params, n, RECORD, now)?;
                 step_end = step_end.max(out.completion);
                 messages += out.messages;
             }
         }
         for n in 0..NODES {
-            cfs.close(params, n).expect("close");
+            cfs.close(params, n)?;
         }
 
         // Per-node outputs: each node writes its own solution file.
         for n in 0..NODES {
             let path = format!("soln.step{step}.node{n}");
-            let o = cfs
-                .open(job, &path, Access::Write, IoMode::Independent, n, false)
-                .expect("output open");
+            let o = cfs.open(job, &path, Access::Write, IoMode::Independent, n, false)?;
             for _ in 0..48 {
-                let out = cfs.write(&machine, o.session, n, 1024, now).expect("write");
+                let out = cfs.write(&machine, o.session, n, 1024, now)?;
                 step_end = step_end.max(out.completion);
                 messages += out.messages;
             }
-            cfs.close(o.session, n).expect("output close");
+            cfs.close(o.session, n)?;
         }
         println!(
             "timestep {step}: {:>8} messages, finished at t={:.3}s",
@@ -98,4 +92,5 @@ fn main() {
         "  (the interleave's interprocess spatial locality is what makes\n   \
          the I/O-node cache work — the paper's central §4.8 finding)"
     );
+    Ok(())
 }

@@ -25,7 +25,7 @@ const RECORD_APPEND_US: u64 = 25;
 const RECORDS_PER_FLUSH: u64 = 170;
 
 /// Run the NHT-1-style benchmark; returns the simulated makespan.
-fn run_benchmark(instrumented: bool) -> f64 {
+fn run_benchmark(instrumented: bool) -> Result<f64, charisma::Error> {
     let machine = Machine::boot_synchronized(MachineConfig::nas_ipsc860());
     let mut cfs = Cfs::new(CfsConfig::nas());
     let nodes: u16 = 16;
@@ -51,68 +51,60 @@ fn run_benchmark(instrumented: bool) -> f64 {
     // Phase 1: every node writes a 1 MB result file in 8 KB records.
     let mut sessions = Vec::new();
     for n in 0..nodes {
-        let o = cfs
-            .open(
-                1,
-                &format!("nht1/out{n}"),
-                Access::Write,
-                IoMode::Independent,
-                n,
-                false,
-            )
-            .expect("open");
+        let o = cfs.open(
+            1,
+            &format!("nht1/out{n}"),
+            Access::Write,
+            IoMode::Independent,
+            n,
+            false,
+        )?;
         charge(n, &mut clock, &mut records);
         sessions.push(o.session);
     }
     for _ in 0..128 {
         for n in 0..nodes {
             let i = n as usize;
-            let out = cfs
-                .write(&machine, sessions[i], n, 8192, clock[i])
-                .expect("write");
+            let out = cfs.write(&machine, sessions[i], n, 8192, clock[i])?;
             clock[i] = out.completion;
             charge(n, &mut clock, &mut records);
         }
     }
     for n in 0..nodes {
-        cfs.close(sessions[n as usize], n).expect("close");
+        cfs.close(sessions[n as usize], n)?;
         charge(n, &mut clock, &mut records);
     }
 
     // Phase 2: every node reads its file back in small records.
     for n in 0..nodes {
-        let o = cfs
-            .open(
-                2,
-                &format!("nht1/out{n}"),
-                Access::Read,
-                IoMode::Independent,
-                n,
-                false,
-            )
-            .expect("open");
+        let o = cfs.open(
+            2,
+            &format!("nht1/out{n}"),
+            Access::Read,
+            IoMode::Independent,
+            n,
+            false,
+        )?;
         charge(n, &mut clock, &mut records);
         let i = n as usize;
         for _ in 0..1024 {
-            let out = cfs
-                .read(&machine, o.session, n, 1024, clock[i])
-                .expect("read");
+            let out = cfs.read(&machine, o.session, n, 1024, clock[i])?;
             clock[i] = out.completion;
             charge(n, &mut clock, &mut records);
         }
-        cfs.close(o.session, n).expect("close");
+        cfs.close(o.session, n)?;
         charge(n, &mut clock, &mut records);
     }
 
-    clock
+    Ok(clock
         .iter()
         .map(|t| (*t - t0).as_secs_f64())
-        .fold(0.0, f64::max)
+        .fold(0.0, f64::max))
 }
 
-fn main() {
-    let bare = run_benchmark(false);
-    let traced = run_benchmark(true);
+fn main() -> Result<(), charisma::Error> {
+    let bare = run_benchmark(false)?;
+    let traced = run_benchmark(true)?;
     let overhead = 100.0 * (traced - bare) / bare;
     println!("NHT-1-style benchmark, 16 nodes, 2176 I/O calls per node:");
     println!("  uninstrumented makespan: {bare:.3}s (simulated)");
@@ -125,4 +117,5 @@ fn main() {
          collection path keeps the per-call cost to an in-memory append."
     );
     assert!(overhead < 10.0, "instrumentation must stay cheap");
+    Ok(())
 }

@@ -7,7 +7,7 @@
 
 use charisma::prelude::*;
 
-fn main() {
+fn main() -> Result<(), charisma::Error> {
     let machine = Machine::boot_synchronized(MachineConfig::nas_ipsc860());
     let mut cfs = Cfs::new(CfsConfig::nas());
     let t0 = SimTime::from_secs(1);
@@ -16,16 +16,14 @@ fn main() {
     let nodes: u16 = 64;
     let record: u32 = 512;
     let total: u32 = 4 << 20;
-    let o = cfs
-        .open(0, "input", Access::Write, IoMode::Independent, 0, false)
-        .expect("stage");
+    let o = cfs.open(0, "input", Access::Write, IoMode::Independent, 0, false)?;
     let mut done = 0;
     while done < total {
         let chunk = (total - done).min(1 << 20);
-        cfs.write(&machine, o.session, 0, chunk, t0).expect("write");
+        cfs.write(&machine, o.session, 0, chunk, t0)?;
         done += chunk;
     }
-    cfs.close(o.session, 0).expect("close");
+    cfs.close(o.session, 0)?;
 
     // Node 7's share of the interleave: records 7, 7+64, 7+128, ...
     let spec = StridedSpec {
@@ -43,22 +41,14 @@ fn main() {
     );
 
     // The CFS way: a loop of seek+read calls.
-    let o1 = cfs
-        .open(1, "input", Access::Read, IoMode::Independent, 7, false)
-        .expect("open");
-    let lp = cfs
-        .strided_as_loop(&machine, o1.session, 7, spec, t0, false)
-        .expect("loop");
-    cfs.close(o1.session, 7).expect("close");
+    let o1 = cfs.open(1, "input", Access::Read, IoMode::Independent, 7, false)?;
+    let lp = cfs.strided_as_loop(&machine, o1.session, 7, spec, t0, false)?;
+    cfs.close(o1.session, 7)?;
 
     // The recommended way: one strided request.
-    let o2 = cfs
-        .open(2, "input", Access::Read, IoMode::Independent, 7, false)
-        .expect("open");
-    let st = cfs
-        .read_strided(&machine, o2.session, 7, spec, t0)
-        .expect("strided");
-    cfs.close(o2.session, 7).expect("close");
+    let o2 = cfs.open(2, "input", Access::Read, IoMode::Independent, 7, false)?;
+    let st = cfs.read_strided(&machine, o2.session, 7, spec, t0)?;
+    cfs.close(o2.session, 7)?;
 
     println!(
         "{:<20} {:>10} {:>12} {:>10}",
@@ -79,4 +69,5 @@ fn main() {
          express a regular request and interval size …, effectively\n\
          increasing the request size, lowering overhead\" (§5)."
     );
+    Ok(())
 }

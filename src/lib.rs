@@ -15,18 +15,25 @@
 //!
 //! ## Quick start
 //!
+//! [`Pipeline`] runs the whole study — workload generation, clock
+//! rectification, deterministic merge, and the paper's §4
+//! characterization — in one call. `.shards(n)` spreads generation over
+//! `n` worker threads; the output is bit-identical for every `n`.
+//!
 //! ```
 //! use charisma::prelude::*;
 //!
-//! // Generate a small workload, collect and rectify its trace...
-//! let workload = generate(GeneratorConfig::test_scale(0.01));
-//! let events = postprocess(&workload.trace);
+//! let out = Pipeline::new().scale(0.01).seed(4994).shards(2).run()?;
 //!
-//! // ...and characterize it the way the paper does.
-//! let report = Report::from_events(&events);
-//! let census = charisma::core::census::census(&report.chars);
+//! let census = charisma::core::census::census(&out.report.chars);
 //! assert!(census.total > 1000 && census.write_only > 0);
+//! assert!(out.report.render().contains("Figure 4"));
+//! # Ok::<(), charisma::Error>(())
 //! ```
+//!
+//! The pre-pipeline entry points (`generate` → `postprocess` →
+//! `Report::from_events`) remain available for code that needs one layer
+//! at a time — e.g. poking at a raw unrectified trace.
 //!
 //! ## Crate map
 //!
@@ -35,9 +42,10 @@
 //! * [`cfs`] — the Concurrent File System: I/O modes, 4 KB striping,
 //!   disks, caches, plus the paper's recommended strided and collective
 //!   interfaces;
-//! * [`trace`] — CHARISMA trace records, collection, and clock-drift
-//!   postprocessing;
-//! * [`workload`] — the calibrated synthetic job mix and generator;
+//! * [`trace`] — CHARISMA trace records, collection, clock-drift
+//!   postprocessing, and the deterministic k-way shard merge;
+//! * [`workload`] — the calibrated synthetic job mix, the generator, and
+//!   the sharded parallel driver ([`workload::shard`]);
 //! * [`core`] — the workload characterization (every §4 table and figure);
 //! * [`cachesim`] — the trace-driven cache simulations (Figures 8-9 and
 //!   the combined experiment).
@@ -49,8 +57,16 @@ pub use charisma_ipsc as ipsc;
 pub use charisma_trace as trace;
 pub use charisma_workload as workload;
 
+mod error;
+mod pipeline;
+
+pub use error::Error;
+pub use pipeline::{Pipeline, PipelineOutput};
+
 /// The commonly used types and entry points in one import.
 pub mod prelude {
+    pub use crate::error::Error;
+    pub use crate::pipeline::{Pipeline, PipelineOutput};
     pub use charisma_cachesim::{
         combined_simulation, compute_cache_sim, io_cache_sim, Policy, SessionIndex,
     };

@@ -1,0 +1,179 @@
+//! The unified pipeline: generate → postprocess → analyze in one call.
+//!
+//! [`Pipeline`] is the single programmatic entry point to the
+//! reproduction. It replaces the loose `generate` → `postprocess` →
+//! `Report::from_events` triple the examples used to wire by hand, and it
+//! is where sharded parallel generation lives: `.shards(n)` runs the
+//! simulation on `n` worker threads with a merged event stream that is
+//! **bit-identical** to the serial run (see
+//! [`charisma_workload::shard`] for how, and `charisma-verify
+//! determinism --shards N` for the proof harness).
+//!
+//! ```
+//! use charisma::prelude::*;
+//!
+//! let out = Pipeline::new().scale(0.01).seed(4994).shards(2).run()?;
+//! assert!(out.events.len() > 1000);
+//! assert!(out.report.render().contains("Figure 4"));
+//! # Ok::<(), charisma::Error>(())
+//! ```
+
+use charisma_cfs::CfsConfig;
+use charisma_core::report::Report;
+use charisma_ipsc::MachineConfig;
+use charisma_trace::OrderedEvent;
+use charisma_workload::shard::generate_sharded;
+use charisma_workload::{GeneratorConfig, ShardedWorkload};
+
+use crate::error::Error;
+
+/// Builder for one end-to-end run of the reproduction.
+///
+/// Defaults reproduce the paper: full three-week scale, seed 4994 (SC
+/// '94), the NAS iPSC/860 machine and CFS, serial execution.
+#[derive(Clone, Debug)]
+pub struct Pipeline {
+    scale: f64,
+    seed: u64,
+    shards: usize,
+    machine: MachineConfig,
+    cfs: CfsConfig,
+}
+
+impl Default for Pipeline {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Pipeline {
+    /// A pipeline with the paper's defaults.
+    pub fn new() -> Self {
+        Pipeline {
+            scale: 1.0,
+            seed: 4994,
+            shards: 1,
+            machine: MachineConfig::nas_ipsc860(),
+            cfs: CfsConfig::nas(),
+        }
+    }
+
+    /// Workload scale: 1.0 is the paper's full population (~3000 jobs);
+    /// tests and examples use small fractions.
+    #[must_use]
+    pub fn scale(mut self, scale: f64) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// Master RNG seed (default 4994).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Worker threads for generation (default 1 = serial).
+    ///
+    /// The workload is always partitioned into
+    /// [`charisma_workload::shard::LOGICAL_SHARDS`] logical shards; this
+    /// only sets how many threads execute them, so **every value yields
+    /// the same merged stream** (counts above the logical shard count are
+    /// capped). `0` is rejected by [`Self::run`].
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Machine to simulate (default: the NAS 128-node iPSC/860).
+    #[must_use]
+    pub fn machine(mut self, machine: MachineConfig) -> Self {
+        self.machine = machine;
+        self
+    }
+
+    /// File system to simulate (default: the NAS CFS).
+    #[must_use]
+    pub fn cfs(mut self, cfs: CfsConfig) -> Self {
+        self.cfs = cfs;
+        self
+    }
+
+    /// Run the pipeline: generate the sharded workload, rectify and merge
+    /// the per-shard traces, and characterize the merged stream.
+    ///
+    /// The analysis consumes the k-way merge as a stream, in the same
+    /// pass that materializes [`PipelineOutput::events`].
+    pub fn run(self) -> Result<PipelineOutput, Error> {
+        if !self.scale.is_finite() || self.scale <= 0.0 {
+            return Err(Error::InvalidScale(self.scale));
+        }
+        if self.shards == 0 {
+            return Err(Error::InvalidShards(self.shards));
+        }
+        let config = GeneratorConfig {
+            scale: self.scale,
+            seed: self.seed,
+            machine: self.machine,
+            cfs: self.cfs,
+        };
+        let workload = generate_sharded(&config, self.shards);
+        let mut events = Vec::with_capacity(workload.event_count());
+        let report = Report::from_stream(workload.merged_events().inspect(|e| events.push(*e)));
+        Ok(PipelineOutput {
+            workload,
+            events,
+            report,
+        })
+    }
+}
+
+/// Everything one pipeline run produces.
+pub struct PipelineOutput {
+    /// The generated workload: per-shard raw traces plus aggregate stats.
+    pub workload: ShardedWorkload,
+    /// The rectified, deterministically merged event stream.
+    pub events: Vec<OrderedEvent>,
+    /// The paper's full §4 characterization of that stream.
+    pub report: Report,
+}
+
+impl PipelineOutput {
+    /// Aggregate generation stats (jobs, sessions, requests, …).
+    pub fn stats(&self) -> &charisma_workload::GenStats {
+        &self.workload.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_produces_a_coherent_output() {
+        let out = Pipeline::new().scale(0.02).shards(2).run().expect("runs");
+        assert_eq!(out.events.len(), out.workload.event_count());
+        assert!(out.stats().jobs > 10);
+        assert!(out.report.chars.jobs.len() == out.stats().jobs);
+        for w in out.events.windows(2) {
+            assert!((w[0].time, w[0].node) <= (w[1].time, w[1].node));
+        }
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert!(matches!(
+            Pipeline::new().scale(0.0).run(),
+            Err(Error::InvalidScale(_))
+        ));
+        assert!(matches!(
+            Pipeline::new().scale(f64::NAN).run(),
+            Err(Error::InvalidScale(_))
+        ));
+        assert!(matches!(
+            Pipeline::new().scale(0.01).shards(0).run(),
+            Err(Error::InvalidShards(0))
+        ));
+    }
+}
