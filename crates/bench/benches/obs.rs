@@ -1,0 +1,97 @@
+//! Benches for the observability layer: the per-event instrumentation
+//! cost the simulation pays (counter/gauge/histogram updates) and the
+//! per-run cost of snapshotting, merging, and rendering the metrics.
+//!
+//! The hot-path numbers are the ones that matter: every simulated event
+//! touches a handful of these cells, so a regression here is a regression
+//! in everything.
+
+use charisma_obs::{MetricsRegistry, MetricsSnapshot};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+const UPDATES: u64 = 10_000;
+
+fn bench_hot_path(c: &mut Criterion) {
+    let registry = MetricsRegistry::new();
+    let counter = registry.counter("bench.counter");
+    let gauge = registry.gauge("bench.gauge");
+    let histogram = registry.histogram("bench.histogram");
+
+    let mut g = c.benchmark_group("obs_hot_path");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(UPDATES));
+
+    g.bench_function("counter_inc_10k", |b| {
+        b.iter(|| {
+            for _ in 0..UPDATES {
+                counter.inc();
+            }
+        })
+    });
+    g.bench_function("gauge_record_max_10k", |b| {
+        b.iter(|| {
+            for v in 0..UPDATES {
+                gauge.record_max(black_box(v));
+            }
+        })
+    });
+    g.bench_function("histogram_record_10k", |b| {
+        b.iter(|| {
+            for v in 0..UPDATES {
+                histogram.record(black_box(v.wrapping_mul(0x9e37_79b9)));
+            }
+        })
+    });
+    g.finish();
+}
+
+/// A registry shaped like one real shard's: a few dozen named series with
+/// populated histograms.
+fn populated_registry() -> MetricsRegistry {
+    let registry = MetricsRegistry::new();
+    for i in 0..32 {
+        registry
+            .counter(&format!("bench.counter.{i:02}"))
+            .add(i * 1000 + 7);
+        registry
+            .gauge(&format!("bench.gauge.{i:02}"))
+            .record_max(i * 31);
+    }
+    for i in 0..8 {
+        let h = registry.histogram(&format!("bench.histogram.{i}"));
+        for v in 0..1000u64 {
+            h.record(v.wrapping_mul(6_364_136_223_846_793_005));
+        }
+    }
+    registry
+}
+
+fn bench_snapshot(c: &mut Criterion) {
+    let registry = populated_registry();
+    let snap = registry.snapshot();
+    let shard = registry.snapshot();
+
+    let mut g = c.benchmark_group("obs_snapshot");
+    g.sample_size(10);
+
+    g.bench_function("registry_snapshot", |b| {
+        b.iter(|| black_box(registry.snapshot()))
+    });
+    g.bench_function("merge_16_shards", |b| {
+        b.iter(|| {
+            let mut merged = MetricsSnapshot::new();
+            for _ in 0..16 {
+                merged.merge(black_box(&shard));
+            }
+            black_box(merged)
+        })
+    });
+    g.bench_function("to_core_json", |b| {
+        b.iter(|| black_box(snap.to_core_json()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_hot_path, bench_snapshot);
+criterion_main!(benches);

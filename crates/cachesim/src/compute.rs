@@ -66,6 +66,18 @@ impl ComputeCacheResult {
         }
         rates.iter().filter(|&&r| r == 0.0).count() as f64 / rates.len() as f64
     }
+
+    /// Record this run's raw counters under the `cachesim.compute.` prefix
+    /// of `registry`.
+    pub fn record_metrics(&self, registry: &charisma_obs::MetricsRegistry) {
+        registry
+            .counter("cachesim.compute.requests")
+            .add(self.requests);
+        registry.counter("cachesim.compute.hits").add(self.hits);
+        registry
+            .counter("cachesim.compute.jobs")
+            .add(self.per_job.len() as u64);
+    }
 }
 
 /// Run the simulation with `buffers` one-block buffers per compute node.

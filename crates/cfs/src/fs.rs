@@ -15,6 +15,7 @@
 use std::collections::BTreeMap;
 
 use charisma_ipsc::{Duration, Machine, SimTime};
+use charisma_obs::{Counter, Histogram, MetricsRegistry};
 
 use crate::cache::{BlockCache, LruCache};
 use crate::disk::{DiskModel, DiskState};
@@ -138,6 +139,44 @@ pub struct CfsStats {
     pub messages: u64,
 }
 
+/// Metric handles a [`Cfs`] reports through once attached with
+/// [`Cfs::attach_metrics`]. Everything here is simulated-time data —
+/// deterministic for a fixed seed.
+#[derive(Clone, Debug, Default)]
+pub struct CfsMetrics {
+    /// Requests by I/O mode, indexed by [`IoMode::code`].
+    pub mode_requests: [Counter; 4],
+    /// Read requests served (plain, strided, and collective).
+    pub reads: Counter,
+    /// Write requests served (plain, strided, and collective).
+    pub writes: Counter,
+    /// Block-level I/O-node cache hits.
+    pub cache_hits: Counter,
+    /// Block-level I/O-node cache misses.
+    pub cache_misses: Counter,
+    /// I/O nodes engaged per request (stripe fan-out).
+    pub stripe_fanout: Histogram,
+    /// Per-block disk service time, simulated µs (queue wait excluded).
+    pub disk_service_us: Histogram,
+}
+
+impl CfsMetrics {
+    /// Handles registered under the `cfs.` prefix of `registry`.
+    pub fn register(registry: &MetricsRegistry) -> Self {
+        CfsMetrics {
+            mode_requests: std::array::from_fn(|m| {
+                registry.counter(&format!("cfs.requests.mode{m}"))
+            }),
+            reads: registry.counter("cfs.read_requests"),
+            writes: registry.counter("cfs.write_requests"),
+            cache_hits: registry.counter("cfs.cache_hits"),
+            cache_misses: registry.counter("cfs.cache_misses"),
+            stripe_fanout: registry.histogram("cfs.stripe_fanout"),
+            disk_service_us: registry.histogram("cfs.disk_service_us"),
+        }
+    }
+}
+
 #[derive(Clone, Debug)]
 struct FileMeta {
     size: u64,
@@ -179,6 +218,7 @@ pub struct Cfs {
     caches: Vec<LruCache>,
     used_bytes: u64,
     stats: CfsStats,
+    metrics: Option<CfsMetrics>,
 }
 
 impl Cfs {
@@ -200,7 +240,14 @@ impl Cfs {
             caches,
             used_bytes: 0,
             stats: CfsStats::default(),
+            metrics: None,
         }
+    }
+
+    /// Report request, cache, stripe, and disk activity through `metrics`
+    /// from now on.
+    pub fn attach_metrics(&mut self, metrics: CfsMetrics) {
+        self.metrics = Some(metrics);
     }
 
     /// The static configuration.
@@ -371,23 +418,27 @@ impl Cfs {
         bytes: u32,
         now: SimTime,
     ) -> Result<IoOutcome, CfsError> {
-        let (file, offset, actual) = {
-            let size = {
+        let (file, offset, actual, mode) = {
+            let (size, mode) = {
                 let s = self.session(session)?;
                 if !s.access.can_read() {
                     return Err(CfsError::AccessDenied { session });
                 }
-                self.files[s.file as usize].size
+                (self.files[s.file as usize].size, s.mode)
             };
             let (file, offset) = self.resolve_offset(session, node, bytes, false)?;
             let actual = (size.saturating_sub(offset)).min(u64::from(bytes)) as u32;
-            (file, offset, actual)
+            (file, offset, actual, mode)
         };
         self.advance_pointer(session, node, u64::from(actual));
         let (completion, messages, blocks, hits) =
             self.access_blocks(machine, node, file, offset, u64::from(actual), now, false);
         self.stats.reads += 1;
         self.stats.bytes_read += u64::from(actual);
+        if let Some(m) = &self.metrics {
+            m.reads.inc();
+            m.mode_requests[usize::from(mode.code())].inc();
+        }
         Ok(IoOutcome {
             offset,
             bytes: actual,
@@ -408,12 +459,13 @@ impl Cfs {
         bytes: u32,
         now: SimTime,
     ) -> Result<IoOutcome, CfsError> {
-        {
+        let mode = {
             let s = self.session(session)?;
             if !s.access.can_write() {
                 return Err(CfsError::AccessDenied { session });
             }
-        }
+            s.mode
+        };
         let (file, offset) = self.resolve_offset(session, node, bytes, true)?;
         self.extend_file(file, offset + u64::from(bytes))?;
         self.advance_pointer(session, node, u64::from(bytes));
@@ -421,6 +473,10 @@ impl Cfs {
             self.access_blocks(machine, node, file, offset, u64::from(bytes), now, true);
         self.stats.writes += 1;
         self.stats.bytes_written += u64::from(bytes);
+        if let Some(m) = &self.metrics {
+            m.writes.inc();
+            m.mode_requests[usize::from(mode.code())].inc();
+        }
         Ok(IoOutcome {
             offset,
             bytes,
@@ -615,11 +671,13 @@ impl Cfs {
         now: SimTime,
         is_write: bool,
     ) -> (SimTime, u64, u64, u64) {
+        let metrics = self.metrics.clone();
         let cache_op = Duration::from_micros(self.config.cache_op_us);
         let mut completion = now;
         let mut messages = 0u64;
         let mut blocks = 0u64;
         let mut hits = 0u64;
+        let mut fanout = 0u64;
         let io_count = self.config.io_nodes;
         for io in 0..io_count {
             let mut io_bytes = 0u64;
@@ -631,6 +689,7 @@ impl Cfs {
                 }
                 if !engaged {
                     engaged = true;
+                    fanout += 1;
                     // Request message reaches the I/O node.
                     io_done = now + machine.io_message_latency(node as usize, io, 64);
                     messages += 1;
@@ -643,6 +702,7 @@ impl Cfs {
                     io_done += cache_op;
                 } else {
                     self.stats.cache_misses += 1;
+                    let busy_before = self.disks[io].busy_us;
                     if is_write {
                         // Write-behind: the client pays only the cache
                         // insertion; the disk absorbs the block later.
@@ -665,6 +725,10 @@ impl Cfs {
                             false,
                         );
                     }
+                    if let Some(m) = &metrics {
+                        m.disk_service_us
+                            .record(self.disks[io].busy_us - busy_before);
+                    }
                 }
             }
             if engaged {
@@ -676,6 +740,11 @@ impl Cfs {
             }
         }
         self.stats.messages += messages;
+        if let Some(m) = &metrics {
+            m.cache_hits.add(hits);
+            m.cache_misses.add(blocks - hits);
+            m.stripe_fanout.record(fanout);
+        }
         (completion, messages, blocks, hits)
     }
 
@@ -698,12 +767,18 @@ impl Cfs {
     pub(crate) fn note_read(&mut self, bytes: u64) {
         self.stats.reads += 1;
         self.stats.bytes_read += bytes;
+        if let Some(m) = &self.metrics {
+            m.reads.inc();
+        }
     }
 
     /// Account an extension-interface write in the aggregate stats.
     pub(crate) fn note_write(&mut self, bytes: u64) {
         self.stats.writes += 1;
         self.stats.bytes_written += bytes;
+        if let Some(m) = &self.metrics {
+            m.writes.inc();
+        }
     }
 }
 
@@ -1037,6 +1112,33 @@ mod tests {
         assert_eq!(s.bytes_written, 8192);
         assert!(s.messages >= 4);
         assert_eq!(s.cache_hits, 2, "read hits the written blocks");
+    }
+
+    #[test]
+    fn attached_metrics_mirror_request_activity() {
+        let (m, mut fs) = setup();
+        let registry = MetricsRegistry::new();
+        fs.attach_metrics(CfsMetrics::register(&registry));
+        let o = fs
+            .open(1, "f", Access::ReadWrite, IoMode::Independent, 0, false)
+            .unwrap();
+        fs.write(&m, o.session, 0, 8192, t0()).unwrap();
+        fs.seek(o.session, 0, 0).unwrap();
+        fs.read(&m, o.session, 0, 8192, t0()).unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["cfs.read_requests"], 1);
+        assert_eq!(snap.counters["cfs.write_requests"], 1);
+        assert_eq!(snap.counters["cfs.requests.mode0"], 2);
+        assert_eq!(snap.counters["cfs.requests.mode1"], 0);
+        // The read found both written blocks in cache; the write missed.
+        assert_eq!(snap.counters["cfs.cache_hits"], 2);
+        assert_eq!(snap.counters["cfs.cache_misses"], 2);
+        // Each request engaged both tiny-config I/O nodes.
+        assert_eq!(snap.histograms["cfs.stripe_fanout"].count, 2);
+        assert_eq!(snap.histograms["cfs.stripe_fanout"].sum, 4);
+        // Two write misses went to disk.
+        assert_eq!(snap.histograms["cfs.disk_service_us"].count, 2);
+        assert!(snap.histograms["cfs.disk_service_us"].sum > 0);
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub use cache::{BlockCache, BlockKey, FifoCache, IplCache, LruCache};
 pub use collective::{CollectiveOutcome, CollectiveShare};
 pub use disk::{DiskModel, DiskState};
 pub use error::CfsError;
-pub use fs::{Access, Cfs, CfsConfig, CfsStats, IoOutcome, OpenResult};
+pub use fs::{Access, Cfs, CfsConfig, CfsMetrics, CfsStats, IoOutcome, OpenResult};
 pub use mode::IoMode;
 pub use strided::StridedSpec;
 pub use stripe::Striping;

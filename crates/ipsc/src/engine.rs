@@ -9,13 +9,40 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use charisma_obs::{Counter, Gauge, MetricsRegistry};
+
 use crate::time::SimTime;
+
+/// Metric handles an [`EventQueue`] reports through once attached with
+/// [`EventQueue::attach_metrics`]. All counts are facts of the simulation
+/// (deterministic for a fixed seed), not wall-clock measurements.
+#[derive(Clone, Debug, Default)]
+pub struct QueueMetrics {
+    /// Events scheduled via [`EventQueue::push`].
+    pub pushed: Counter,
+    /// Events dispatched via [`EventQueue::pop`].
+    pub dispatched: Counter,
+    /// High-water mark of pending events.
+    pub depth_high_water: Gauge,
+}
+
+impl QueueMetrics {
+    /// Handles registered under the `engine.` prefix of `registry`.
+    pub fn register(registry: &MetricsRegistry) -> Self {
+        QueueMetrics {
+            pushed: registry.counter("engine.events_pushed"),
+            dispatched: registry.counter("engine.events_dispatched"),
+            depth_high_water: registry.gauge("engine.queue_depth_high_water"),
+        }
+    }
+}
 
 /// A time-ordered event queue with stable FIFO tie-breaking.
 #[derive(Debug)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     seq: u64,
+    metrics: Option<QueueMetrics>,
     #[cfg(feature = "invariants")]
     last_popped: Option<SimTime>,
 }
@@ -63,9 +90,17 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::with_capacity(capacity),
             seq: 0,
+            metrics: None,
             #[cfg(feature = "invariants")]
             last_popped: None,
         }
+    }
+
+    /// Report push/dispatch counts and the depth high-water mark through
+    /// `metrics` from now on. Un-attached queues pay only an `Option`
+    /// check per operation.
+    pub fn attach_metrics(&mut self, metrics: QueueMetrics) {
+        self.metrics = Some(metrics);
     }
 
     /// Schedule `event` at time `at`.
@@ -76,12 +111,19 @@ impl<E> EventQueue<E> {
             key: Reverse((at, seq)),
             event,
         });
+        if let Some(m) = &self.metrics {
+            m.pushed.inc();
+            m.depth_high_water.record_max(self.heap.len() as u64);
+        }
     }
 
     /// Remove and return the earliest event, with its time.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         let e = self.heap.pop()?;
         let at = (e.key.0).0;
+        if let Some(m) = &self.metrics {
+            m.dispatched.inc();
+        }
         #[cfg(feature = "invariants")]
         {
             crate::invariant!(
@@ -157,6 +199,22 @@ mod tests {
         assert_eq!(q.pop(), Some((SimTime::from_secs(1), "a")));
         assert_eq!(q.pop(), Some((SimTime::from_secs(2), "b")));
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn attached_metrics_track_traffic() {
+        let registry = MetricsRegistry::new();
+        let mut q = EventQueue::new();
+        q.attach_metrics(QueueMetrics::register(&registry));
+        q.push(SimTime::from_secs(1), 'a');
+        q.push(SimTime::from_secs(2), 'b');
+        q.push(SimTime::from_secs(3), 'c');
+        q.pop();
+        q.pop();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["engine.events_pushed"], 3);
+        assert_eq!(snap.counters["engine.events_dispatched"], 2);
+        assert_eq!(snap.gauges["engine.queue_depth_high_water"], 3);
     }
 
     #[test]

@@ -32,8 +32,8 @@ pub mod topology;
 
 pub use alloc::SubcubeAllocator;
 pub use clock::DriftClock;
-pub use engine::EventQueue;
-pub use machine::{IoNodeId, Machine, MachineConfig, NodeId};
+pub use engine::{EventQueue, QueueMetrics};
+pub use machine::{IoNodeId, Machine, MachineConfig, MachineMetrics, NodeId};
 pub use message::{Message, NetworkModel, PACKET_BYTES};
 pub use time::{Duration, SimTime};
 pub use topology::Hypercube;

@@ -6,6 +6,7 @@
 //! the host computer. The total I/O capacity is 7.6 GB and the total
 //! bandwidth is less than 10 MB/s." (paper §3)
 
+use charisma_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 use rand::Rng;
 
 use crate::alloc::SubcubeAllocator;
@@ -78,6 +79,37 @@ impl MachineConfig {
     }
 }
 
+/// Metric handles a [`Machine`] reports through once attached with
+/// [`Machine::attach_metrics`]. Message/packet counts accumulate as the
+/// network model is consulted; clock extremes are recorded at attach time
+/// (the clocks are fixed at boot).
+#[derive(Clone, Debug, Default)]
+pub struct MachineMetrics {
+    /// Messages routed through the latency model.
+    pub messages_routed: Counter,
+    /// 4 KB packets those messages occupied.
+    pub packets_routed: Counter,
+    /// Distribution of route lengths, in hops.
+    pub route_hops: Histogram,
+    /// Largest clock drift magnitude across nodes, parts per billion.
+    pub clock_drift_ppb_max: Gauge,
+    /// Largest boot-time clock offset magnitude across nodes, µs.
+    pub clock_offset_us_max: Gauge,
+}
+
+impl MachineMetrics {
+    /// Handles registered under the `machine.` prefix of `registry`.
+    pub fn register(registry: &MetricsRegistry) -> Self {
+        MachineMetrics {
+            messages_routed: registry.counter("machine.messages_routed"),
+            packets_routed: registry.counter("machine.packets_routed"),
+            route_hops: registry.histogram("machine.route_hops"),
+            clock_drift_ppb_max: registry.gauge("machine.clock_drift_ppb_max"),
+            clock_offset_us_max: registry.gauge("machine.clock_offset_us_max"),
+        }
+    }
+}
+
 /// A live machine instance: topology, allocator, and per-node clocks.
 #[derive(Clone, Debug)]
 pub struct Machine {
@@ -88,6 +120,7 @@ pub struct Machine {
     clocks: Vec<DriftClock>,
     /// Clock of the service node (the trace collector's reference clock).
     service_clock: DriftClock,
+    metrics: Option<MachineMetrics>,
 }
 
 impl Machine {
@@ -111,6 +144,7 @@ impl Machine {
             // postprocessing corrects *to*; give it a small offset too.
             service_clock: DriftClock::PERFECT,
             config,
+            metrics: None,
         }
     }
 
@@ -126,6 +160,31 @@ impl Machine {
             clocks,
             service_clock: DriftClock::PERFECT,
             config,
+            metrics: None,
+        }
+    }
+
+    /// Report message routing and clock extremes through `metrics` from
+    /// now on. Clock extremes are recorded immediately (clocks are fixed
+    /// at boot); message and packet counts accumulate as the latency model
+    /// is consulted.
+    pub fn attach_metrics(&mut self, metrics: MachineMetrics) {
+        for clock in &self.clocks {
+            metrics
+                .clock_drift_ppb_max
+                .record_max((clock.drift_ppm.abs() * 1000.0).round() as u64);
+            metrics
+                .clock_offset_us_max
+                .record_max(clock.offset_us.abs().round() as u64);
+        }
+        self.metrics = Some(metrics);
+    }
+
+    fn note_message(&self, msg: &Message, hops: u32) {
+        if let Some(m) = &self.metrics {
+            m.messages_routed.inc();
+            m.packets_routed.add(msg.packets());
+            m.route_hops.record(u64::from(hops));
         }
     }
 
@@ -178,16 +237,18 @@ impl Machine {
             dst: self.io_attachment(io),
             bytes,
         };
-        self.config.network.latency(&msg, self.hops_to_io(src, io))
+        let hops = self.hops_to_io(src, io);
+        self.note_message(&msg, hops);
+        self.config.network.latency(&msg, hops)
     }
 
     /// Latency of a compute-node-to-service-node message (trace flushes).
     pub fn service_message_latency(&self, src: NodeId, bytes: u64) -> Duration {
         // The service node also hangs off a compute node; use address 0.
         let msg = Message { src, dst: 0, bytes };
-        self.config
-            .network
-            .latency(&msg, self.cube.distance(src, 0) + 1)
+        let hops = self.cube.distance(src, 0) + 1;
+        self.note_message(&msg, hops);
+        self.config.network.latency(&msg, hops)
     }
 }
 
@@ -260,6 +321,24 @@ mod tests {
         assert!(small.as_micros() > 0);
         assert!(large > small);
         assert!(m.service_message_latency(5, 4096).as_micros() > 0);
+    }
+
+    #[test]
+    fn attached_metrics_see_routing_and_clock_extremes() {
+        let registry = MetricsRegistry::new();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut m = Machine::boot(MachineConfig::tiny(), &mut rng);
+        m.attach_metrics(MachineMetrics::register(&registry));
+        m.io_message_latency(5, 0, 10_000);
+        m.service_message_latency(5, 4096);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["machine.messages_routed"], 2);
+        // 10 000 bytes is three 4 KB packets, the flush one more.
+        assert_eq!(snap.counters["machine.packets_routed"], 4);
+        assert_eq!(snap.histograms["machine.route_hops"].count, 2);
+        let drift = snap.gauges["machine.clock_drift_ppb_max"];
+        assert!(drift > 0 && drift <= 80_000, "drift {drift} ppb");
+        assert!(snap.gauges["machine.clock_offset_us_max"] <= 5_000);
     }
 
     #[test]

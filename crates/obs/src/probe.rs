@@ -1,0 +1,81 @@
+//! Profiling hooks.
+//!
+//! A [`Probe`] receives span enter/exit notifications from a
+//! [`MetricsRegistry`](crate::MetricsRegistry). The default [`NoopProbe`]
+//! has empty bodies, so instrumented code pays only a virtual call that
+//! the optimizer can devirtualize and drop; a real profiler (flamegraph
+//! feeder, tracing bridge, stderr logger) implements the trait and is
+//! attached with [`MetricsRegistry::with_probe`](crate::MetricsRegistry::with_probe).
+
+/// Observer for span lifecycle events.
+///
+/// Both methods default to doing nothing, so implementations override
+/// only what they need. Implementations must be `Send + Sync`: shard
+/// worker threads may report spans concurrently.
+pub trait Probe: Send + Sync {
+    /// A span named `name` was opened.
+    fn span_enter(&self, name: &'static str) {
+        let _ = name;
+    }
+
+    /// The span named `name` closed after `elapsed_ns` wall-clock
+    /// nanoseconds.
+    fn span_exit(&self, name: &'static str, elapsed_ns: u64) {
+        let _ = (name, elapsed_ns);
+    }
+}
+
+/// The default probe: ignores everything.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopProbe;
+
+impl Probe for NoopProbe {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    struct CountingProbe {
+        enters: AtomicU64,
+        exits: AtomicU64,
+        last_elapsed: AtomicU64,
+    }
+
+    impl Probe for CountingProbe {
+        fn span_enter(&self, _name: &'static str) {
+            self.enters.fetch_add(1, Ordering::Relaxed);
+        }
+        fn span_exit(&self, _name: &'static str, elapsed_ns: u64) {
+            self.exits.fetch_add(1, Ordering::Relaxed);
+            self.last_elapsed.store(elapsed_ns, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn custom_probe_sees_span_lifecycle() {
+        let probe = Arc::new(CountingProbe {
+            enters: AtomicU64::new(0),
+            exits: AtomicU64::new(0),
+            last_elapsed: AtomicU64::new(0),
+        });
+        let registry = crate::MetricsRegistry::with_probe(probe.clone());
+        {
+            let _span = registry.span("unit");
+        }
+        assert_eq!(probe.enters.load(Ordering::Relaxed), 1);
+        assert_eq!(probe.exits.load(Ordering::Relaxed), 1);
+        let snap = registry.snapshot();
+        assert_eq!(snap.timings["unit"].count, 1);
+    }
+
+    #[test]
+    fn noop_probe_is_inert() {
+        let registry = crate::MetricsRegistry::new();
+        {
+            let _span = registry.span("quiet");
+        }
+        assert_eq!(registry.snapshot().timings["quiet"].count, 1);
+    }
+}

@@ -26,7 +26,7 @@ pub mod postprocess;
 pub mod record;
 
 pub use builder::{Block, Trace, TraceBuilder};
-pub use merge::{merge_shards, MergedEvents};
+pub use merge::{merge_shards, MergeMetrics, MergedEvents};
 pub use postprocess::{postprocess, OrderedEvent};
 pub use record::{
     AccessKind, Event, EventBody, FileId, JobId, SessionId, TraceHeader, SERVICE_NODE,

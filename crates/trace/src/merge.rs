@@ -16,7 +16,30 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use charisma_obs::{Counter, MetricsRegistry};
+
 use crate::postprocess::OrderedEvent;
+
+/// Metric handles a [`MergedEvents`] reports through once attached with
+/// [`MergedEvents::attach_metrics`].
+#[derive(Clone, Debug, Default)]
+pub struct MergeMetrics {
+    /// Events emitted by the merge.
+    pub records_merged: Counter,
+    /// Heap operations performed (pops plus refill pushes) — the merge's
+    /// comparison workload, O(total × log shards).
+    pub heap_ops: Counter,
+}
+
+impl MergeMetrics {
+    /// Handles registered under the `merge.` prefix of `registry`.
+    pub fn register(registry: &MetricsRegistry) -> Self {
+        MergeMetrics {
+            records_merged: registry.counter("merge.records_merged"),
+            heap_ops: registry.counter("merge.heap_ops"),
+        }
+    }
+}
 
 /// The total-order key of one merged event: `(time, node, shard, seq)`.
 pub type MergeKey = (u64, u16, usize, usize);
@@ -43,6 +66,7 @@ pub struct MergedEvents {
     /// Min-heap over the head of every non-exhausted stream.
     heap: BinaryHeap<Reverse<(MergeKey, usize)>>,
     remaining: usize,
+    metrics: Option<MergeMetrics>,
     #[cfg(feature = "invariants")]
     last_key: Option<MergeKey>,
 }
@@ -69,9 +93,16 @@ impl MergedEvents {
             cursor,
             heap,
             remaining,
+            metrics: None,
             #[cfg(feature = "invariants")]
             last_key: None,
         }
+    }
+
+    /// Report merge throughput and heap workload through `metrics` from
+    /// now on.
+    pub fn attach_metrics(&mut self, metrics: MergeMetrics) {
+        self.metrics = Some(metrics);
     }
 
     /// Total events still to be yielded.
@@ -104,9 +135,15 @@ impl Iterator for MergedEvents {
         let pos = self.cursor[shard];
         let event = self.shards[shard][pos];
         self.cursor[shard] = pos + 1;
+        let mut heap_ops = 1u64;
         if let Some(next) = self.shards[shard].get(pos + 1) {
             self.heap
                 .push(Reverse((merge_key(next, shard, pos + 1), shard)));
+            heap_ops += 1;
+        }
+        if let Some(m) = &self.metrics {
+            m.records_merged.inc();
+            m.heap_ops.add(heap_ops);
         }
         self.remaining -= 1;
         Some(event)
@@ -201,6 +238,19 @@ mod tests {
         m.next();
         assert_eq!(m.len(), 2);
         assert_eq!(m.count(), 2);
+    }
+
+    #[test]
+    fn attached_metrics_count_merge_work() {
+        let registry = MetricsRegistry::new();
+        let mut m = MergedEvents::new(vec![vec![ev(1, 0, 0), ev(4, 0, 1)], vec![ev(2, 0, 2)]]);
+        m.attach_metrics(MergeMetrics::register(&registry));
+        let merged: Vec<_> = m.collect();
+        assert_eq!(merged.len(), 3);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["merge.records_merged"], 3);
+        // 3 pops + 1 refill push (shard 0 has a successor after its head).
+        assert_eq!(snap.counters["merge.heap_ops"], 4);
     }
 
     #[test]

@@ -13,15 +13,21 @@
 //!   workload→simulate→trace pipeline twice with the same seed and diffs a
 //!   streaming hash of the trace records, reporting the first divergent
 //!   record on failure.
+//! - [`metrics`] — the metrics-snapshot gate: the observability layer's
+//!   deterministic core (counters/gauges/histograms) is diffed against a
+//!   checked-in fixture, and an `N`-worker run must merge to the same core
+//!   as the serial run.
 //!
-//! The binary (`charisma-verify lint|determinism`) is the gate CI and all
-//! future perf/scaling PRs run behind.
+//! The binary (`charisma-verify lint|determinism|metrics`) is the gate CI
+//! and all future perf/scaling PRs run behind.
 
 pub mod determinism;
 pub mod lint;
+pub mod metrics;
 
 pub use determinism::{
     check_pipeline_determinism, check_shard_equivalence, check_sharded_determinism,
     DeterminismReport, Divergence,
 };
 pub use lint::{lint_workspace, Finding, LintConfig, Rule};
+pub use metrics::{check_metrics_shard_equivalence, core_metrics_json, diff_json, JsonDiff};

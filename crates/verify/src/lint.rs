@@ -102,11 +102,13 @@ pub struct FileScope {
 }
 
 /// Crates whose trace output must be hash-order free (`CH001`/`CH002`/`CH004`).
-const SIM_CRATES: &[&str] = &["ipsc", "cfs", "cachesim", "trace"];
+const SIM_CRATES: &[&str] = &["ipsc", "cfs", "cachesim", "trace", "obs"];
 /// Crates whose library code must not panic (`CH003`).
-const NO_PANIC_CRATES: &[&str] = &["ipsc", "cfs", "trace"];
+const NO_PANIC_CRATES: &[&str] = &["ipsc", "cfs", "trace", "obs"];
 /// `CH004` additionally covers the workload generator: its randomness must
-/// be seeded too.
+/// be seeded too. `obs` is deliberately absent: span timings legitimately
+/// read the monotonic clock, and the snapshot quarantines them in its
+/// nondeterministic section instead.
 const SEEDED_RNG_CRATES: &[&str] = &["ipsc", "cfs", "cachesim", "trace", "workload"];
 
 /// Scope for a file at `rel` (workspace-relative, `/`-separated).

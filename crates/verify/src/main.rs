@@ -3,21 +3,28 @@
 //! ```text
 //! charisma-verify lint [--root DIR]
 //! charisma-verify determinism [--seed N] [--scale F] [--shards N]
+//! charisma-verify metrics [--seed N] [--scale F] [--shards N]
+//!                         [--fixture PATH] [--write]
 //! ```
 //!
 //! With `--shards N`, the determinism check runs the sharded pipeline on
 //! `N` worker threads — twice for repeatability, and once against the
 //! serial (1-worker) run to prove worker count does not change the output.
 //!
-//! Both subcommands exit 0 on success and 1 on violation/divergence, so the
+//! The metrics check diffs the run's deterministic metrics core against
+//! the checked-in fixture (and, with `--shards N`, proves the `N`-worker
+//! merged metrics equal the serial run's); `--write` regenerates the
+//! fixture instead.
+//!
+//! All subcommands exit 0 on success and 1 on violation/divergence, so the
 //! binary slots directly into CI.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use charisma_verify::{
-    check_pipeline_determinism, check_shard_equivalence, check_sharded_determinism, lint_workspace,
-    LintConfig,
+    check_metrics_shard_equivalence, check_pipeline_determinism, check_shard_equivalence,
+    check_sharded_determinism, core_metrics_json, diff_json, lint_workspace, LintConfig,
 };
 
 fn usage() -> ExitCode {
@@ -27,7 +34,11 @@ fn usage() -> ExitCode {
            lint         [--root DIR]            run the CH001-CH004 static pass\n\
            determinism  [--seed N] [--scale F] [--shards N]\n\
                         prove two same-seed pipeline runs agree; with --shards,\n\
-                        run sharded on N workers and also diff against serial"
+                        run sharded on N workers and also diff against serial\n\
+           metrics      [--seed N] [--scale F] [--shards N] [--fixture PATH] [--write]\n\
+                        diff the deterministic metrics core against the fixture;\n\
+                        with --shards, also prove N-worker metrics merge to the\n\
+                        serial values; --write regenerates the fixture"
     );
     ExitCode::from(2)
 }
@@ -37,6 +48,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("lint") => run_lint(&args[1..]),
         Some("determinism") => run_determinism(&args[1..]),
+        Some("metrics") => run_metrics(&args[1..]),
         _ => usage(),
     }
 }
@@ -133,6 +145,107 @@ fn run_determinism(args: &[String]) -> ExitCode {
         &check_shard_equivalence(seed, scale, shards),
     ) {
         return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// Default fixture location: `crates/verify/fixtures/metrics_snapshot.json`
+/// under the workspace root.
+fn default_fixture() -> PathBuf {
+    find_workspace_root().join("crates/verify/fixtures/metrics_snapshot.json")
+}
+
+fn run_metrics(args: &[String]) -> ExitCode {
+    let (seed, scale, shards) = match (
+        parsed_flag(args, "--seed", 4994u64),
+        parsed_flag(args, "--scale", 0.05f64),
+        parsed_flag(args, "--shards", 1usize),
+    ) {
+        (Ok(seed), Ok(scale), Ok(shards)) => (seed, scale, shards),
+        (Err(e), _, _) | (_, Err(e), _) | (_, _, Err(e)) => {
+            eprintln!("charisma-verify metrics: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let fixture = flag_value(args, "--fixture")
+        .map(PathBuf::from)
+        .unwrap_or_else(default_fixture);
+
+    println!(
+        "charisma-verify metrics: seed={seed} scale={scale} shards={shards}, \
+         rendering the deterministic metrics core..."
+    );
+    let core = match core_metrics_json(seed, scale, shards) {
+        Ok(core) => core,
+        Err(e) => {
+            eprintln!("charisma-verify metrics: pipeline error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.iter().any(|a| a == "--write") {
+        if let Err(e) = std::fs::write(&fixture, &core) {
+            eprintln!(
+                "charisma-verify metrics: cannot write {}: {e}",
+                fixture.display()
+            );
+            return ExitCode::from(2);
+        }
+        println!("fixture regenerated: {}", fixture.display());
+        return ExitCode::SUCCESS;
+    }
+
+    let expected = match std::fs::read_to_string(&fixture) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!(
+                "charisma-verify metrics: cannot read {}: {e}\n\
+                 (regenerate with: charisma-verify metrics --write)",
+                fixture.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let diffs = diff_json(&expected, &core);
+    if !diffs.is_empty() {
+        for d in diffs.iter().take(20) {
+            println!("  {d}");
+        }
+        println!(
+            "metrics SNAPSHOT MISMATCH: {} line(s) differ from {}\n\
+             (if the change is intended, regenerate with: charisma-verify metrics --write)",
+            diffs.len(),
+            fixture.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "metrics core matches the fixture ({} lines)",
+        core.lines().count()
+    );
+
+    if shards > 1 {
+        println!("comparing {shards}-worker merged metrics against the serial run...");
+        match check_metrics_shard_equivalence(seed, scale, shards) {
+            Ok(diffs) if diffs.is_empty() => {
+                println!("metrics merge is worker-count invariant");
+            }
+            Ok(diffs) => {
+                for d in diffs.iter().take(20) {
+                    println!("  {d}");
+                }
+                println!(
+                    "metrics MERGE DIVERGENCE: {} line(s) differ between serial \
+                     and {shards}-worker runs",
+                    diffs.len()
+                );
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("charisma-verify metrics: pipeline error: {e}");
+                return ExitCode::from(2);
+            }
+        }
     }
     ExitCode::SUCCESS
 }

@@ -4,9 +4,12 @@
 
 use std::collections::HashMap;
 
-use charisma_cfs::{Access, Cfs, CfsConfig, CfsError, IoMode};
+use charisma_cfs::{Access, Cfs, CfsConfig, CfsError, CfsMetrics, IoMode};
 use charisma_ipsc::alloc::Subcube;
-use charisma_ipsc::{Duration, EventQueue, Machine, MachineConfig, SimTime};
+use charisma_ipsc::{
+    Duration, EventQueue, Machine, MachineConfig, MachineMetrics, QueueMetrics, SimTime,
+};
+use charisma_obs::{MetricsRegistry, MetricsSnapshot};
 use charisma_trace::record::{AccessKind, EventBody, TraceHeader};
 use charisma_trace::{Trace, TraceBuilder};
 use rand::rngs::StdRng;
@@ -78,6 +81,9 @@ pub struct GeneratedWorkload {
     pub trace: Trace,
     /// Aggregate facts.
     pub stats: GenStats,
+    /// Snapshot of the generator's metrics registry: engine, machine, CFS,
+    /// and workload counters. Deterministic for a fixed seed.
+    pub metrics: MetricsSnapshot,
 }
 
 /// Run the generator.
@@ -156,6 +162,9 @@ struct Generator {
     datasets: Vec<Dataset>,
     next_dataset: usize,
     stats: GenStats,
+    /// Per-generator registry: every subsystem this generator owns reports
+    /// here, so sharded runs produce one mergeable snapshot per shard.
+    metrics: MetricsRegistry,
 }
 
 impl Generator {
@@ -191,10 +200,13 @@ impl Generator {
         config: GeneratorConfig,
         seed: u64,
         dataset_count: usize,
-        machine: Machine,
+        mut machine: Machine,
         mix: Mix,
     ) -> Self {
-        let cfs = Cfs::new(config.cfs.clone());
+        let metrics = MetricsRegistry::new();
+        machine.attach_metrics(MachineMetrics::register(&metrics));
+        let mut cfs = Cfs::new(config.cfs.clone());
+        cfs.attach_metrics(CfsMetrics::register(&metrics));
         let header = TraceHeader {
             version: TraceHeader::VERSION,
             compute_nodes: config.machine.compute_nodes() as u32,
@@ -209,7 +221,8 @@ impl Generator {
             .map(|n| machine.service_message_latency(n, 4096))
             .collect();
         let trace = TraceBuilder::new(header, clocks, *machine.service_clock(), latencies);
-        let queue = EventQueue::with_capacity(mix.jobs.len() + 1);
+        let mut queue = EventQueue::with_capacity(mix.jobs.len() + 1);
+        queue.attach_metrics(QueueMetrics::register(&metrics));
         Generator {
             seed,
             dataset_count,
@@ -223,6 +236,7 @@ impl Generator {
             datasets: Vec::new(),
             next_dataset: 0,
             stats: GenStats::default(),
+            metrics,
         }
     }
 
@@ -251,9 +265,22 @@ impl Generator {
         self.stats.end_time = end;
         let trace = self.trace.take().expect("builder present");
         self.stats.message_reduction = trace.message_reduction();
+        self.metrics
+            .counter("workload.jobs")
+            .add(self.stats.jobs as u64);
+        self.metrics
+            .counter("workload.traced_jobs")
+            .add(self.stats.traced_jobs as u64);
+        self.metrics
+            .counter("workload.sessions")
+            .add(self.stats.sessions);
+        self.metrics
+            .counter("workload.requests")
+            .add(self.stats.requests);
         GeneratedWorkload {
             trace: trace.finish(end),
             stats: self.stats,
+            metrics: self.metrics.snapshot(),
         }
     }
 

@@ -35,6 +35,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use charisma_ipsc::SimTime;
+use charisma_obs::MetricsSnapshot;
 use charisma_trace::merge::MergedEvents;
 use charisma_trace::postprocess::postprocess;
 
@@ -102,6 +103,11 @@ pub struct ShardedWorkload {
     pub shards: Vec<GeneratedWorkload>,
     /// Stats aggregated across shards.
     pub stats: GenStats,
+    /// Per-shard metric snapshots merged into one (counters summed, gauges
+    /// maxed, histograms added bucket-wise). Because the merge rules are
+    /// associative and commutative and the partition is fixed, this is
+    /// identical for every worker count.
+    pub metrics: MetricsSnapshot,
 }
 
 impl ShardedWorkload {
@@ -184,6 +190,14 @@ fn run_shard(config: &GeneratorConfig, shard: usize, mix: Mix) -> GeneratedWorkl
     let datasets = dataset_pool_size(config.scale / LOGICAL_SHARDS as f64);
     let mut workload = generate_with_mix(config.clone(), seed, datasets, mix);
     rebase_ids(&mut workload, shard);
+    workload.metrics.set_counter(
+        &format!("workload.shard{shard:02}.jobs"),
+        workload.stats.jobs as u64,
+    );
+    workload.metrics.set_counter(
+        &format!("workload.shard{shard:02}.requests"),
+        workload.stats.requests,
+    );
     workload
 }
 
@@ -240,7 +254,15 @@ pub fn generate_sharded(config: &GeneratorConfig, workers: usize) -> ShardedWork
     };
 
     let stats = merge_stats(&shards);
-    ShardedWorkload { shards, stats }
+    let mut metrics = MetricsSnapshot::new();
+    for shard in &shards {
+        metrics.merge(&shard.metrics);
+    }
+    ShardedWorkload {
+        shards,
+        stats,
+        metrics,
+    }
 }
 
 /// The end time of the merged stream (max across shards) — a convenience
@@ -370,6 +392,29 @@ mod tests {
             }
         }
         assert_eq!(starts.len(), w.stats.jobs);
+    }
+
+    #[test]
+    fn merged_metrics_are_worker_count_invariant() {
+        let serial = generate_sharded(&config(0.02), 1);
+        let four = generate_sharded(&config(0.02), 4);
+        assert_eq!(serial.metrics, four.metrics, "metrics diverged");
+        // The full export (timings included) varies run to run, but the
+        // deterministic core must be byte-identical.
+        assert_eq!(serial.metrics.to_core_json(), four.metrics.to_core_json());
+        // Per-shard keys survive the merge and sum to the total.
+        let shard_jobs: u64 = (0..LOGICAL_SHARDS)
+            .map(|i| serial.metrics.counters[&format!("workload.shard{i:02}.jobs")])
+            .sum();
+        assert_eq!(shard_jobs, serial.stats.jobs as u64);
+        assert_eq!(
+            serial.metrics.counters["workload.requests"],
+            serial.stats.requests
+        );
+        assert!(serial.metrics.counters["engine.events_dispatched"] > 0);
+        assert!(serial.metrics.counters["cfs.cache_hits"] > 0);
+        assert!(serial.metrics.histograms["cfs.disk_service_us"].count > 0);
+        assert!(serial.metrics.gauges["engine.queue_depth_high_water"] > 0);
     }
 
     #[test]

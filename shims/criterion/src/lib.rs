@@ -5,6 +5,12 @@
 //! iterations with `std::time::Instant` and prints a one-line report — no
 //! statistics, no HTML, no CLI filtering. Good enough to smoke-test the
 //! bench targets; not a measurement tool.
+//!
+//! Like upstream criterion, passing `--test` to the bench binary (i.e.
+//! `cargo bench -- --test`) switches to test mode: every benchmark body
+//! runs exactly once, untimed, and reports `test <name> ... ok` — this is
+//! what CI's bench-smoke job uses to prove the bench targets still run
+//! without paying for timed iterations.
 
 use std::time::Instant;
 
@@ -20,12 +26,18 @@ pub enum Throughput {
 /// Times a single benchmark body.
 pub struct Bencher {
     iters: u32,
+    test_mode: bool,
     last_ns_per_iter: f64,
 }
 
 impl Bencher {
-    /// Run and time `f`, retaining mean ns/iteration.
+    /// Run and time `f`, retaining mean ns/iteration. In test mode the
+    /// body runs exactly once and nothing is timed.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            std::hint::black_box(f());
+            return;
+        }
         // One warm-up, then the timed iterations.
         std::hint::black_box(f());
         let start = Instant::now();
@@ -53,27 +65,57 @@ fn report(name: &str, ns_per_iter: f64, throughput: Option<Throughput>) {
 }
 
 /// Top-level benchmark driver, mirroring `criterion::Criterion`.
-#[derive(Default)]
 pub struct Criterion {
-    _private: (),
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    /// Sniff the binary's arguments for `--test`, like upstream's CLI.
+    fn default() -> Self {
+        Criterion::with_test_mode(std::env::args().any(|a| a == "--test"))
+    }
 }
 
 impl Criterion {
+    /// Build a driver with test mode set explicitly (upstream configures
+    /// this from the CLI; the explicit form exists for the shim's tests).
+    pub fn with_test_mode(test_mode: bool) -> Self {
+        Criterion { test_mode }
+    }
+
+    fn bencher(&self) -> Bencher {
+        Bencher {
+            iters: 3,
+            test_mode: self.test_mode,
+            last_ns_per_iter: 0.0,
+        }
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &self,
+        name: &str,
+        f: &mut F,
+        throughput: Option<Throughput>,
+    ) {
+        let mut b = self.bencher();
+        f(&mut b);
+        if self.test_mode {
+            println!("test {name} ... ok");
+        } else {
+            report(name, b.last_ns_per_iter, throughput);
+        }
+    }
+
     /// Run one named benchmark.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
-        let mut b = Bencher {
-            iters: 3,
-            last_ns_per_iter: 0.0,
-        };
-        f(&mut b);
-        report(name, b.last_ns_per_iter, None);
+        self.run_one(name, &mut f, None);
         self
     }
 
     /// Open a named group of benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
         BenchmarkGroup {
-            _parent: self,
+            parent: self,
             name: name.to_string(),
             throughput: None,
         }
@@ -82,7 +124,7 @@ impl Criterion {
 
 /// A named group; settings apply to the benches run inside it.
 pub struct BenchmarkGroup<'a> {
-    _parent: &'a mut Criterion,
+    parent: &'a mut Criterion,
     name: String,
     throughput: Option<Throughput>,
 }
@@ -107,16 +149,8 @@ impl BenchmarkGroup<'_> {
 
     /// Run one named benchmark within the group.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
-        let mut b = Bencher {
-            iters: 3,
-            last_ns_per_iter: 0.0,
-        };
-        f(&mut b);
-        report(
-            &format!("{}/{name}", self.name),
-            b.last_ns_per_iter,
-            self.throughput,
-        );
+        let full = format!("{}/{name}", self.name);
+        self.parent.run_one(&full, &mut f, self.throughput);
         self
     }
 
@@ -171,5 +205,18 @@ mod tests {
         g.bench_function("inner", |b| b.iter(|| hits += 1));
         g.finish();
         assert!(hits > 0);
+    }
+
+    #[test]
+    fn test_mode_runs_each_body_exactly_once() {
+        let mut c = Criterion::with_test_mode(true);
+        let mut ran = 0u32;
+        c.bench_function("smoke", |b| b.iter(|| ran += 1));
+        assert_eq!(ran, 1, "no warm-up, no timed loop");
+        let mut g = c.benchmark_group("g");
+        let mut grouped = 0u32;
+        g.bench_function("inner", |b| b.iter(|| grouped += 1));
+        g.finish();
+        assert_eq!(grouped, 1);
     }
 }

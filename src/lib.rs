@@ -48,12 +48,16 @@
 //!   the sharded parallel driver ([`workload::shard`]);
 //! * [`core`] — the workload characterization (every §4 table and figure);
 //! * [`cachesim`] — the trace-driven cache simulations (Figures 8-9 and
-//!   the combined experiment).
+//!   the combined experiment);
+//! * [`obs`] — the deterministic observability layer: counters, gauges,
+//!   log2 histograms, span timings, and profiling probes, surfaced as
+//!   [`PipelineOutput::metrics`].
 
 pub use charisma_cachesim as cachesim;
 pub use charisma_cfs as cfs;
 pub use charisma_core as core;
 pub use charisma_ipsc as ipsc;
+pub use charisma_obs as obs;
 pub use charisma_trace as trace;
 pub use charisma_workload as workload;
 
@@ -74,6 +78,7 @@ pub mod prelude {
     pub use charisma_core::report::Report;
     pub use charisma_core::{analyze, Characterization};
     pub use charisma_ipsc::{Machine, MachineConfig, SimTime};
+    pub use charisma_obs::{MetricsRegistry, MetricsSnapshot, NoopProbe, Probe};
     pub use charisma_trace::{postprocess, OrderedEvent, Trace};
     pub use charisma_workload::{generate, GeneratorConfig};
 }

@@ -18,10 +18,14 @@
 //! # Ok::<(), charisma::Error>(())
 //! ```
 
+use std::sync::Arc;
+use std::time::Instant;
+
 use charisma_cfs::CfsConfig;
 use charisma_core::report::Report;
 use charisma_ipsc::MachineConfig;
-use charisma_trace::OrderedEvent;
+use charisma_obs::{MetricsRegistry, MetricsSnapshot, Probe};
+use charisma_trace::{MergeMetrics, OrderedEvent};
 use charisma_workload::shard::generate_sharded;
 use charisma_workload::{GeneratorConfig, ShardedWorkload};
 
@@ -31,13 +35,27 @@ use crate::error::Error;
 ///
 /// Defaults reproduce the paper: full three-week scale, seed 4994 (SC
 /// '94), the NAS iPSC/860 machine and CFS, serial execution.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct Pipeline {
     scale: f64,
     seed: u64,
     shards: usize,
     machine: MachineConfig,
     cfs: CfsConfig,
+    probe: Option<Arc<dyn Probe>>,
+}
+
+impl std::fmt::Debug for Pipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pipeline")
+            .field("scale", &self.scale)
+            .field("seed", &self.seed)
+            .field("shards", &self.shards)
+            .field("machine", &self.machine)
+            .field("cfs", &self.cfs)
+            .field("probe", &self.probe.as_ref().map(|_| "dyn Probe"))
+            .finish()
+    }
 }
 
 impl Default for Pipeline {
@@ -55,6 +73,7 @@ impl Pipeline {
             shards: 1,
             machine: MachineConfig::nas_ipsc860(),
             cfs: CfsConfig::nas(),
+            probe: None,
         }
     }
 
@@ -100,6 +119,15 @@ impl Pipeline {
         self
     }
 
+    /// Attach a [`Probe`] that is notified as the pipeline's phase spans
+    /// (`pipeline.generate`, `pipeline.analyze`) are entered and exited —
+    /// the hook point for external profilers. Default: none.
+    #[must_use]
+    pub fn probe(mut self, probe: Arc<dyn Probe>) -> Self {
+        self.probe = Some(probe);
+        self
+    }
+
     /// Run the pipeline: generate the sharded workload, rectify and merge
     /// the per-shard traces, and characterize the merged stream.
     ///
@@ -118,13 +146,39 @@ impl Pipeline {
             machine: self.machine,
             cfs: self.cfs,
         };
-        let workload = generate_sharded(&config, self.shards);
+        let registry = match &self.probe {
+            Some(p) => MetricsRegistry::with_probe(Arc::clone(p)),
+            None => MetricsRegistry::new(),
+        };
+        let started = Instant::now();
+        let workload = {
+            let _generate = registry.span("pipeline.generate");
+            generate_sharded(&config, self.shards)
+        };
         let mut events = Vec::with_capacity(workload.event_count());
-        let report = Report::from_stream(workload.merged_events().inspect(|e| events.push(*e)));
+        let report = {
+            let _analyze = registry.span("pipeline.analyze");
+            let mut merged = workload.merged_events();
+            merged.attach_metrics(MergeMetrics::register(&registry));
+            Report::from_stream(merged.inspect(|e| events.push(*e)))
+        };
+        // The deterministic core (counters/gauges/histograms) comes from
+        // the simulation and the merge; the facade's own wall-clock
+        // artifacts (span timings, throughput) live in the snapshot's
+        // quarantined nondeterministic section.
+        let mut metrics = workload.metrics.clone();
+        metrics.merge(&registry.snapshot());
+        let elapsed = started.elapsed().as_secs_f64();
+        if elapsed > 0.0 {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            let rps = (events.len() as f64 / elapsed).round() as u64;
+            metrics.set_rate("pipeline.records_per_sec", rps);
+        }
         Ok(PipelineOutput {
             workload,
             events,
             report,
+            metrics,
         })
     }
 }
@@ -137,6 +191,12 @@ pub struct PipelineOutput {
     pub events: Vec<OrderedEvent>,
     /// The paper's full §4 characterization of that stream.
     pub report: Report,
+    /// Metrics from every layer of the run: the shard-merged simulation
+    /// counters/gauges/histograms (a pure function of the configuration
+    /// and seed — see [`MetricsSnapshot::to_core_json`]) plus the
+    /// pipeline's own span timings and throughput rate (wall-clock, kept
+    /// under the snapshot's `nondeterministic` section).
+    pub metrics: MetricsSnapshot,
 }
 
 impl PipelineOutput {
@@ -159,6 +219,56 @@ mod tests {
         for w in out.events.windows(2) {
             assert!((w[0].time, w[0].node) <= (w[1].time, w[1].node));
         }
+    }
+
+    #[test]
+    fn metrics_surface_every_layer() {
+        let out = Pipeline::new().scale(0.02).shards(2).run().expect("runs");
+        assert_eq!(
+            out.metrics.counters["workload.jobs"],
+            out.stats().jobs as u64
+        );
+        assert!(out.metrics.counters["engine.events_dispatched"] > 0);
+        assert!(out.metrics.counters["cfs.read_requests"] > 0);
+        assert_eq!(
+            out.metrics.counters["merge.records_merged"],
+            out.events.len() as u64
+        );
+        assert!(out.metrics.timings.contains_key("pipeline.generate"));
+        assert!(out.metrics.timings.contains_key("pipeline.analyze"));
+        assert!(out.metrics.rates.contains_key("pipeline.records_per_sec"));
+        // Wall-clock artifacts stay out of the deterministic core.
+        let core = out.metrics.to_core_json();
+        assert!(!core.contains("pipeline.generate"));
+        assert!(!core.contains("records_per_sec"));
+    }
+
+    #[test]
+    fn attached_probe_observes_pipeline_spans() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        #[derive(Default)]
+        struct CountingProbe {
+            enters: AtomicU64,
+            exits: AtomicU64,
+        }
+        impl charisma_obs::Probe for CountingProbe {
+            fn span_enter(&self, _name: &'static str) {
+                self.enters.fetch_add(1, Ordering::Relaxed);
+            }
+            fn span_exit(&self, _name: &'static str, _elapsed_ns: u64) {
+                self.exits.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+
+        let probe = Arc::new(CountingProbe::default());
+        Pipeline::new()
+            .scale(0.01)
+            .probe(probe.clone())
+            .run()
+            .expect("runs");
+        assert_eq!(probe.enters.load(Ordering::Relaxed), 2);
+        assert_eq!(probe.exits.load(Ordering::Relaxed), 2);
     }
 
     #[test]
