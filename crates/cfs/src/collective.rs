@@ -158,7 +158,7 @@ impl Cfs {
         // latencies.
         let announce_node = shares.first().map_or(0, |s| s.node);
         let (serve_done, mut messages, blocks, hits) =
-            self.serve_block_list(machine, announce_node, file, &merged, now, is_write);
+            self.serve_block_list(machine, announce_node, file, &merged, now, is_write)?;
         // The other nodes' announcements and replies.
         let mut completion = serve_done;
         for share in shares.iter().skip(1) {

@@ -83,9 +83,30 @@ impl DiskState {
         arrival: SimTime,
         is_write: bool,
     ) -> SimTime {
+        self.serve_degraded(model, file, block, bytes, arrival, is_write, 0)
+    }
+
+    /// [`DiskState::serve`] with service time inflated by `degrade_ppm`
+    /// parts-per-million (fault injection's model of a disk in media
+    /// retry / thermal-recalibration trouble). `0` is exactly `serve`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn serve_degraded(
+        &mut self,
+        model: &DiskModel,
+        file: u32,
+        block: u64,
+        bytes: u64,
+        arrival: SimTime,
+        is_write: bool,
+        degrade_ppm: u32,
+    ) -> SimTime {
         let sequential = self.is_sequential(file, block);
         let start = self.next_free.max(arrival);
-        let service = model.service(bytes, sequential);
+        let mut service = model.service(bytes, sequential);
+        if degrade_ppm > 0 {
+            let extra = service.as_micros() * u64::from(degrade_ppm) / 1_000_000;
+            service += Duration::from_micros(extra);
+        }
         let done = start + service;
         self.next_free = done;
         self.last_block = Some((file, block));
@@ -153,6 +174,21 @@ mod tests {
         let done = d.serve(&m, 1, 0, 4096, arrival, true);
         assert_eq!(done, arrival + m.service(4096, false));
         assert_eq!(d.writes, 1);
+    }
+
+    #[test]
+    fn degraded_service_inflates_and_zero_is_identity() {
+        let m = DiskModel::default();
+        let mut a = DiskState::default();
+        let mut b = DiskState::default();
+        let base = a.serve(&m, 1, 0, 4096, SimTime::ZERO, false);
+        let same = b.serve_degraded(&m, 1, 0, 4096, SimTime::ZERO, false, 0);
+        assert_eq!(base, same, "degrade 0 must be exactly serve");
+        let mut c = DiskState::default();
+        let slow = c.serve_degraded(&m, 1, 0, 4096, SimTime::ZERO, false, 250_000);
+        // 25 % slower than the baseline service time.
+        let expected = base.as_micros() + base.as_micros() / 4;
+        assert_eq!(slow.as_micros(), expected);
     }
 
     #[test]

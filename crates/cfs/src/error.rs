@@ -65,6 +65,14 @@ pub enum CfsError {
     },
     /// The named file does not exist (open without create, or delete).
     NoSuchFile,
+    /// The request could not be served even in degraded mode: the stripe's
+    /// I/O node is down (or its replica read failed past the retry budget)
+    /// and no live node could take the read-around. Surfaced by fault
+    /// injection instead of a panic; never returned on a healthy machine.
+    Degraded {
+        /// The I/O node that could not be failed over.
+        io_node: u32,
+    },
 }
 
 impl std::fmt::Display for CfsError {
@@ -104,6 +112,9 @@ impl std::fmt::Display for CfsError {
                 write!(f, "access mode forbids this request on session {session}")
             }
             CfsError::NoSuchFile => write!(f, "no such file"),
+            CfsError::Degraded { io_node } => {
+                write!(f, "I/O node {io_node} unavailable and no failover target")
+            }
         }
     }
 }

@@ -1,0 +1,185 @@
+//! CFS-side fault state: disk transients, degraded striping, stalls.
+//!
+//! Built from a [`FaultPlan`] and attached to a [`crate::Cfs`] via
+//! [`crate::Cfs::attach_faults`]. Every decision here is a stateless
+//! hash of the request's stable identity — see [`charisma_ipsc::faults`]
+//! for why that is what makes chaos runs independent of worker count.
+//!
+//! Disk fate is *block-addressed*: whether the address `(io, file,
+//! block)` is flaky — and how many attempts it takes — is fixed for the
+//! whole run, modeling media defects rather than cosmic rays. A block
+//! that fails past the retry budget fails the same way every time, and
+//! every read of it is served read-around from the next live node.
+
+use charisma_ipsc::faults::{domain, FaultMetrics, FaultPlan, FaultRng, RetryPolicy};
+
+/// Fault state consulted by the CFS request path.
+#[derive(Clone, Debug)]
+pub struct CfsFaults {
+    rng: FaultRng,
+    transient_ppm: u32,
+    degrade_ppm: u32,
+    /// `(io_node, at_us)` permanent failures, from the plan.
+    down: Vec<(usize, u64)>,
+    stall_ppm: u32,
+    stall_us: u64,
+    retry: RetryPolicy,
+    metrics: Option<FaultMetrics>,
+}
+
+impl CfsFaults {
+    /// Build from a plan. `fault_seed` is the already-mixed per-shard
+    /// seed (see [`charisma_ipsc::faults::mix_seed`]).
+    pub fn new(plan: &FaultPlan, fault_seed: u64, metrics: Option<FaultMetrics>) -> Self {
+        CfsFaults {
+            rng: FaultRng::new(fault_seed),
+            transient_ppm: plan.disk_transient_ppm,
+            degrade_ppm: plan.disk_degrade_ppm,
+            down: plan
+                .io_node_down
+                .iter()
+                .map(|d| (d.io_node as usize, d.at_us))
+                .collect(),
+            stall_ppm: plan.io_stall_ppm,
+            stall_us: plan.io_stall_us,
+            retry: plan.retry,
+            metrics,
+        }
+    }
+
+    /// The retry/backoff/timeout policy in force.
+    pub fn retry(&self) -> &RetryPolicy {
+        &self.retry
+    }
+
+    /// Disk service-time inflation, ppm.
+    pub(crate) fn degrade_ppm(&self) -> u32 {
+        self.degrade_ppm
+    }
+
+    /// Whether I/O node `io` is down at true time `now_us`.
+    pub(crate) fn io_down(&self, io: usize, now_us: u64) -> bool {
+        self.down.iter().any(|&(n, at)| n == io && now_us >= at)
+    }
+
+    /// The failover target for `io`: the next I/O node (round robin)
+    /// still alive at `now_us`, or `None` when every node is down.
+    pub(crate) fn next_live(&self, io: usize, io_count: usize, now_us: u64) -> Option<usize> {
+        (1..io_count)
+            .map(|k| (io + k) % io_count)
+            .find(|&cand| !self.io_down(cand, now_us))
+    }
+
+    /// Stall injected into the request this I/O node is serving, µs.
+    pub(crate) fn stall_us(&self, io: u64, file: u32, block: u64) -> Option<u64> {
+        if self
+            .rng
+            .chance(self.stall_ppm, domain::STALL, &[io, u64::from(file), block])
+        {
+            if let Some(m) = &self.metrics {
+                m.io_stalls.inc();
+                m.injected.inc();
+            }
+            Some(self.stall_us)
+        } else {
+            None
+        }
+    }
+
+    /// The fixed fate of reading `(io, file, block)`: `None` when the
+    /// address is clean, `Some(k)` when it fails `k` consecutive times.
+    /// `k <= max_retries` is recoverable by backoff; beyond that the
+    /// block is effectively a media defect and must be read around.
+    pub(crate) fn transient_failures(&self, io: u64, file: u32, block: u64) -> Option<u64> {
+        let ids = [io, u64::from(file), block];
+        if !self.rng.chance(self.transient_ppm, domain::DISK_FATE, &ids) {
+            return None;
+        }
+        if let Some(m) = &self.metrics {
+            m.disk_transient.inc();
+            m.injected.inc();
+        }
+        let span = u64::from(self.retry.max_retries) + 1;
+        Some(1 + self.rng.decide(domain::DISK_FAILS, &ids) % span)
+    }
+
+    /// The backoff before retry `attempt` of the read of `(file, block)`,
+    /// µs. Records the retry and its backoff in the metrics.
+    pub(crate) fn backoff_us(&self, file: u32, block: u64, attempt: u32) -> u64 {
+        let request_id = (u64::from(file) << 40) ^ block;
+        let b = self.retry.backoff_us(&self.rng, request_id, attempt);
+        if let Some(m) = &self.metrics {
+            m.retried.inc();
+            m.backoff_us.record(b);
+        }
+        b
+    }
+
+    /// Record a request served degraded (failover / read-around).
+    pub(crate) fn note_degraded(&self) {
+        if let Some(m) = &self.metrics {
+            m.degraded.inc();
+            m.injected.inc();
+        }
+    }
+
+    /// Record a request that blew its per-request timeout.
+    pub(crate) fn note_timeout(&self) {
+        if let Some(m) = &self.metrics {
+            m.timed_out.inc();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use charisma_ipsc::faults::FaultPlan;
+
+    fn fixture() -> CfsFaults {
+        CfsFaults::new(&FaultPlan::chaos_fixture(), 42, None)
+    }
+
+    #[test]
+    fn down_nodes_fail_over_round_robin() {
+        let f = fixture(); // node 7 down at 3 600 s
+        assert!(!f.io_down(7, 3_599_999_999));
+        assert!(f.io_down(7, 3_600_000_000));
+        assert!(!f.io_down(6, u64::MAX));
+        assert_eq!(f.next_live(7, 10, u64::MAX), Some(8));
+        // 6's first candidate is the dead 7; it must skip to 8.
+        assert_eq!(f.next_live(6, 10, u64::MAX), Some(8));
+        assert_eq!(f.next_live(6, 10, 0), Some(7), "before the failure");
+    }
+
+    #[test]
+    fn single_node_system_has_no_failover() {
+        let f = fixture();
+        assert_eq!(f.next_live(0, 1, u64::MAX), None);
+    }
+
+    #[test]
+    fn block_fate_is_frozen() {
+        let f = fixture();
+        for (io, file, block) in [(0u64, 1u32, 5u64), (3, 9, 1_000_000)] {
+            assert_eq!(
+                f.transient_failures(io, file, block),
+                f.transient_failures(io, file, block)
+            );
+        }
+        let flaky = (0..10_000u64)
+            .filter(|&b| f.transient_failures(0, 1, b).is_some())
+            .count();
+        // 2 % of addresses, give or take.
+        assert!((100..400).contains(&flaky), "flaky {flaky}");
+    }
+
+    #[test]
+    fn backoff_is_capped() {
+        let f = fixture();
+        for attempt in 0..8 {
+            let b = f.backoff_us(3, 77, attempt);
+            assert!(b <= 32_000, "attempt {attempt}: {b}");
+        }
+    }
+}

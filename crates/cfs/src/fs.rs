@@ -20,6 +20,7 @@ use charisma_obs::{Counter, Histogram, MetricsRegistry};
 use crate::cache::{BlockCache, LruCache};
 use crate::disk::{DiskModel, DiskState};
 use crate::error::CfsError;
+use crate::faults::CfsFaults;
 use crate::mode::IoMode;
 use crate::stripe::Striping;
 use crate::BLOCK_BYTES;
@@ -219,6 +220,7 @@ pub struct Cfs {
     used_bytes: u64,
     stats: CfsStats,
     metrics: Option<CfsMetrics>,
+    faults: Option<CfsFaults>,
 }
 
 impl Cfs {
@@ -241,6 +243,7 @@ impl Cfs {
             used_bytes: 0,
             stats: CfsStats::default(),
             metrics: None,
+            faults: None,
         }
     }
 
@@ -248,6 +251,15 @@ impl Cfs {
     /// from now on.
     pub fn attach_metrics(&mut self, metrics: CfsMetrics) {
         self.metrics = Some(metrics);
+    }
+
+    /// Inject disk transients, service degradation, I/O-node failures,
+    /// and stalls — with retry, backoff, timeout, and stripe failover —
+    /// into every request from now on. Callers normally gate on
+    /// `FaultPlan::is_empty`; without this call the request path is
+    /// exactly the fault-free simulator.
+    pub fn attach_faults(&mut self, faults: CfsFaults) {
+        self.faults = Some(faults);
     }
 
     /// The static configuration.
@@ -278,12 +290,18 @@ impl Cfs {
             .map(|f| f.size)
     }
 
+    /// Size of `file`, or zero when the id is unknown (typed-error
+    /// hardening: I/O-shaped lookups must not panic under fault injection).
+    fn file_size_or_zero(&self, file: u32) -> u64 {
+        self.files.get(file as usize).map_or(0, |m| m.size)
+    }
+
     /// Look up a path's file id without opening it.
     pub fn lookup(&self, path: &str) -> Option<u32> {
         self.paths
             .get(path)
             .copied()
-            .filter(|&f| self.files[f as usize].exists)
+            .filter(|&f| self.files.get(f as usize).is_some_and(|m| m.exists))
     }
 
     /// Open `path` from `node` on behalf of `job`.
@@ -378,7 +396,7 @@ impl Cfs {
             let job = s.job;
             self.open_index.remove(&(job, file));
         }
-        Ok(self.files[file as usize].size)
+        Ok(self.file_size_or_zero(file))
     }
 
     /// Reposition `node`'s pointer (mode 0 only).
@@ -424,7 +442,7 @@ impl Cfs {
                 if !s.access.can_read() {
                     return Err(CfsError::AccessDenied { session });
                 }
-                (self.files[s.file as usize].size, s.mode)
+                (self.file_size_or_zero(s.file), s.mode)
             };
             let (file, offset) = self.resolve_offset(session, node, bytes, false)?;
             let actual = (size.saturating_sub(offset)).min(u64::from(bytes)) as u32;
@@ -432,7 +450,7 @@ impl Cfs {
         };
         self.advance_pointer(session, node, u64::from(actual));
         let (completion, messages, blocks, hits) =
-            self.access_blocks(machine, node, file, offset, u64::from(actual), now, false);
+            self.access_blocks(machine, node, file, offset, u64::from(actual), now, false)?;
         self.stats.reads += 1;
         self.stats.bytes_read += u64::from(actual);
         if let Some(m) = &self.metrics {
@@ -470,7 +488,7 @@ impl Cfs {
         self.extend_file(file, offset + u64::from(bytes))?;
         self.advance_pointer(session, node, u64::from(bytes));
         let (completion, messages, blocks, hits) =
-            self.access_blocks(machine, node, file, offset, u64::from(bytes), now, true);
+            self.access_blocks(machine, node, file, offset, u64::from(bytes), now, true)?;
         self.stats.writes += 1;
         self.stats.bytes_written += u64::from(bytes);
         if let Some(m) = &self.metrics {
@@ -593,7 +611,12 @@ impl Cfs {
     }
 
     fn advance_pointer(&mut self, session: u32, node: u16, by: u64) {
-        let s = &mut self.sessions[session as usize];
+        // Callers validate the session first; an unknown id is a no-op
+        // rather than a panic so injected faults can never bring the
+        // host down through a stale handle.
+        let Some(s) = self.sessions.get_mut(session as usize) else {
+            return;
+        };
         if s.mode.shares_pointer() {
             s.shared_ptr += by;
         } else if let Some(p) = s.node_ptrs.get_mut(&node) {
@@ -602,7 +625,9 @@ impl Cfs {
     }
 
     fn truncate_file(&mut self, file: u32) {
-        let meta = &mut self.files[file as usize];
+        let Some(meta) = self.files.get_mut(file as usize) else {
+            return;
+        };
         let blocks = meta.size.div_ceil(BLOCK_BYTES);
         self.used_bytes -= blocks * BLOCK_BYTES;
         meta.size = 0;
@@ -613,7 +638,10 @@ impl Cfs {
     }
 
     fn extend_file(&mut self, file: u32, new_end: u64) -> Result<(), CfsError> {
-        let meta = &mut self.files[file as usize];
+        let meta = self
+            .files
+            .get_mut(file as usize)
+            .ok_or(CfsError::NoSuchFile)?;
         if new_end <= meta.size {
             return Ok(());
         }
@@ -643,14 +671,14 @@ impl Cfs {
         len: u64,
         now: SimTime,
         is_write: bool,
-    ) -> (SimTime, u64, u64, u64) {
+    ) -> Result<(SimTime, u64, u64, u64), CfsError> {
         let range = self.striping.blocks_of_request(offset, len);
         if range.is_empty() {
             // Degenerate request: still one round trip to I/O node 0.
             let io = self.striping.io_node_of(range.start);
             let rtt = machine.io_message_latency(node as usize, io, 64).times(2);
             self.stats.messages += 2;
-            return (now + rtt, 2, 0, 0);
+            return Ok((now + rtt, 2, 0, 0));
         }
         let touches: Vec<(u64, u32)> = range.map(|b| (b, block_overlap(offset, len, b))).collect();
         self.serve_block_list(machine, node, file, &touches, now, is_write)
@@ -661,6 +689,14 @@ impl Cfs {
     /// lookups, and serial disk chains. Shared by plain, strided, and
     /// collective requests.
     ///
+    /// With faults attached, this is also where recovery happens: a
+    /// stripe whose I/O node is down fails over wholesale to the next
+    /// live node; a flaky block read retries with capped exponential
+    /// backoff and, past the retry budget, is read around from the next
+    /// live node's replica; every degraded/slow path is still a plain
+    /// completion time. Only when *no* live node remains does the request
+    /// surface [`CfsError::Degraded`].
+    ///
     /// Returns `(completion, messages, blocks, cache_hits)`.
     pub(crate) fn serve_block_list(
         &mut self,
@@ -670,8 +706,11 @@ impl Cfs {
         touches: &[(u64, u32)],
         now: SimTime,
         is_write: bool,
-    ) -> (SimTime, u64, u64, u64) {
+    ) -> Result<(SimTime, u64, u64, u64), CfsError> {
         let metrics = self.metrics.clone();
+        let faults = self.faults.clone();
+        let now_us = now.as_micros();
+        let degrade_ppm = faults.as_ref().map_or(0, |f| f.degrade_ppm());
         let cache_op = Duration::from_micros(self.config.cache_op_us);
         let mut completion = now;
         let mut messages = 0u64;
@@ -680,6 +719,17 @@ impl Cfs {
         let mut fanout = 0u64;
         let io_count = self.config.io_nodes;
         for io in 0..io_count {
+            // Stripe failover: a down I/O node's whole block group is
+            // redirected to the next live node (cache and disk included).
+            let mut serve_io = io;
+            if let Some(f) = &faults {
+                if f.io_down(io, now_us) {
+                    match f.next_live(io, io_count, now_us) {
+                        Some(alt) => serve_io = alt,
+                        None => return Err(CfsError::Degraded { io_node: io as u32 }),
+                    }
+                }
+            }
             let mut io_bytes = 0u64;
             let mut io_done = SimTime::ZERO;
             let mut engaged = false;
@@ -690,51 +740,97 @@ impl Cfs {
                 if !engaged {
                     engaged = true;
                     fanout += 1;
-                    // Request message reaches the I/O node.
-                    io_done = now + machine.io_message_latency(node as usize, io, 64);
+                    // Request message reaches the (possibly failover) I/O
+                    // node.
+                    io_done = now + machine.io_message_latency(node as usize, serve_io, 64);
                     messages += 1;
+                    if let Some(f) = &faults {
+                        if serve_io != io {
+                            f.note_degraded();
+                        }
+                        if let Some(stall) = f.stall_us(serve_io as u64, file, b) {
+                            io_done += Duration::from_micros(stall);
+                        }
+                    }
                 }
                 blocks += 1;
                 io_bytes += u64::from(touched);
-                if self.caches[io].access((file, b), touched) {
+                if self.caches[serve_io].access((file, b), touched) {
                     hits += 1;
                     self.stats.cache_hits += 1;
                     io_done += cache_op;
                 } else {
                     self.stats.cache_misses += 1;
-                    let busy_before = self.disks[io].busy_us;
                     if is_write {
                         // Write-behind: the client pays only the cache
                         // insertion; the disk absorbs the block later.
                         io_done += cache_op;
-                        self.disks[io].serve(
+                        let busy_before = self.disks[serve_io].busy_us;
+                        self.disks[serve_io].serve_degraded(
                             &self.config.disk,
                             file,
                             b,
                             BLOCK_BYTES,
                             io_done,
                             true,
+                            degrade_ppm,
                         );
+                        if let Some(m) = &metrics {
+                            m.disk_service_us
+                                .record(self.disks[serve_io].busy_us - busy_before);
+                        }
                     } else {
-                        io_done = self.disks[io].serve(
+                        // A flaky block read retries with backoff; past
+                        // the budget it is read around from the next
+                        // live node.
+                        let mut disk_io = serve_io;
+                        if let Some(f) = &faults {
+                            if let Some(fails) = f.transient_failures(serve_io as u64, file, b) {
+                                let budget = u64::from(f.retry().max_retries);
+                                for attempt in 0..fails.min(budget) {
+                                    io_done += Duration::from_micros(f.backoff_us(
+                                        file,
+                                        b,
+                                        attempt as u32,
+                                    ));
+                                }
+                                if fails > budget {
+                                    match f.next_live(disk_io, io_count, now_us) {
+                                        Some(alt) => {
+                                            f.note_degraded();
+                                            disk_io = alt;
+                                        }
+                                        None => {
+                                            return Err(CfsError::Degraded {
+                                                io_node: disk_io as u32,
+                                            })
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        let busy_before = self.disks[disk_io].busy_us;
+                        io_done = self.disks[disk_io].serve_degraded(
                             &self.config.disk,
                             file,
                             b,
                             BLOCK_BYTES,
                             io_done,
                             false,
+                            degrade_ppm,
                         );
-                    }
-                    if let Some(m) = &metrics {
-                        m.disk_service_us
-                            .record(self.disks[io].busy_us - busy_before);
+                        if let Some(m) = &metrics {
+                            m.disk_service_us
+                                .record(self.disks[disk_io].busy_us - busy_before);
+                        }
                     }
                 }
             }
             if engaged {
                 // Reply message carries the data (reads) or the ack (writes).
                 let reply_bytes = if is_write { 32 } else { io_bytes.max(32) };
-                let done = io_done + machine.io_message_latency(node as usize, io, reply_bytes);
+                let done =
+                    io_done + machine.io_message_latency(node as usize, serve_io, reply_bytes);
                 messages += 1;
                 completion = completion.max(done);
             }
@@ -745,7 +841,16 @@ impl Cfs {
             m.cache_misses.add(blocks - hits);
             m.stripe_fanout.record(fanout);
         }
-        (completion, messages, blocks, hits)
+        // Per-request timeout: a request that exceeds the budget pays one
+        // extra client-side backoff (the caller's reissue) and is counted.
+        if let Some(f) = &faults {
+            let timeout = f.retry().timeout_us;
+            if timeout > 0 && completion.since(now).as_micros() > timeout {
+                f.note_timeout();
+                completion += Duration::from_micros(f.retry().base_backoff_us);
+            }
+        }
+        Ok((completion, messages, blocks, hits))
     }
 
     /// Session facts needed by the extension interfaces:
@@ -804,6 +909,109 @@ mod tests {
 
     fn t0() -> SimTime {
         SimTime::from_secs(1)
+    }
+
+    fn write_then_reopen(m: &Machine, fs: &mut Cfs, bytes: u32) -> u32 {
+        let open = fs
+            .open(1, "/f", Access::ReadWrite, IoMode::Independent, 0, false)
+            .unwrap();
+        fs.write(m, open.session, 0, bytes, t0()).unwrap();
+        fs.close(open.session, 0).unwrap();
+        fs.drop_caches();
+        let open = fs
+            .open(1, "/f", Access::Read, IoMode::Independent, 0, false)
+            .unwrap();
+        open.session
+    }
+
+    #[test]
+    fn empty_fault_plan_is_bit_identical_to_no_faults() {
+        use charisma_ipsc::faults::FaultPlan;
+        let (m, mut plain) = setup();
+        let (_, mut chaos) = setup();
+        chaos.attach_faults(CfsFaults::new(&FaultPlan::none(), 99, None));
+        for fs in [&mut plain, &mut chaos] {
+            let s = write_then_reopen(&m, fs, 64 * 1024);
+            let out = fs.read(&m, s, 0, 64 * 1024, t0()).unwrap();
+            assert!(out.completion > t0());
+        }
+        assert_eq!(plain.stats(), chaos.stats());
+    }
+
+    #[test]
+    fn down_io_node_fails_over_and_counts_degraded() {
+        use charisma_ipsc::faults::{FaultPlan, IoNodeDown};
+        use charisma_obs::MetricsRegistry;
+        let registry = MetricsRegistry::new();
+        let fm = charisma_ipsc::faults::FaultMetrics::register(&registry);
+        let (m, mut fs) = setup(); // tiny: 2 I/O nodes
+        let mut plan = FaultPlan::none();
+        plan.io_node_down.push(IoNodeDown {
+            io_node: 1,
+            at_us: 0,
+        });
+        fs.attach_faults(CfsFaults::new(&plan, 5, Some(fm)));
+        let s = write_then_reopen(&m, &mut fs, 64 * 1024);
+        let out = fs.read(&m, s, 0, 64 * 1024, t0()).unwrap();
+        assert_eq!(out.bytes, 64 * 1024, "read-around still serves the data");
+        let snap = registry.snapshot();
+        assert!(snap.counters["faults.degraded"] > 0);
+    }
+
+    #[test]
+    fn all_nodes_down_surfaces_degraded_error() {
+        use charisma_ipsc::faults::{FaultPlan, IoNodeDown};
+        let (m, mut fs) = setup();
+        let s = write_then_reopen(&m, &mut fs, 16 * 1024);
+        let mut plan = FaultPlan::none();
+        for io in 0..2 {
+            plan.io_node_down.push(IoNodeDown {
+                io_node: io,
+                at_us: 0,
+            });
+        }
+        fs.attach_faults(CfsFaults::new(&plan, 5, None));
+        let err = fs.read(&m, s, 0, 16 * 1024, t0()).unwrap_err();
+        assert!(matches!(err, CfsError::Degraded { .. }), "{err}");
+    }
+
+    #[test]
+    fn transient_reads_retry_and_cost_backoff() {
+        use charisma_ipsc::faults::FaultPlan;
+        let (m, mut baseline) = setup();
+        let (_, mut flaky) = setup();
+        let mut plan = FaultPlan::none();
+        plan.seed = 7;
+        plan.disk_transient_ppm = 500_000; // half the blocks are flaky
+        flaky.attach_faults(CfsFaults::new(&plan, 7, None));
+        let big = 256 * 1024;
+        let sb = write_then_reopen(&m, &mut baseline, big);
+        let base = baseline.read(&m, sb, 0, big, t0()).unwrap();
+        let sf = write_then_reopen(&m, &mut flaky, big);
+        let slow = flaky.read(&m, sf, 0, big, t0()).unwrap();
+        assert_eq!(slow.bytes, base.bytes);
+        assert!(
+            slow.completion > base.completion,
+            "retries must cost time: {} vs {}",
+            slow.completion,
+            base.completion
+        );
+    }
+
+    #[test]
+    fn per_request_timeout_fires_on_slow_requests() {
+        use charisma_ipsc::faults::FaultPlan;
+        use charisma_obs::MetricsRegistry;
+        let registry = MetricsRegistry::new();
+        let fm = charisma_ipsc::faults::FaultMetrics::register(&registry);
+        let (m, mut fs) = setup();
+        let mut plan = FaultPlan::none();
+        plan.retry.timeout_us = 1_000; // far below a cold multi-block read
+        fs.attach_faults(CfsFaults::new(&plan, 5, Some(fm)));
+        let s = write_then_reopen(&m, &mut fs, 128 * 1024);
+        fs.read(&m, s, 0, 128 * 1024, t0()).unwrap();
+        let snap = registry.snapshot();
+        assert!(snap.counters["faults.timed_out"] > 0);
     }
 
     #[test]

@@ -25,6 +25,7 @@ pub mod cache;
 pub mod collective;
 pub mod disk;
 pub mod error;
+pub mod faults;
 pub mod fs;
 pub mod mode;
 pub mod strided;
@@ -34,6 +35,7 @@ pub use cache::{BlockCache, BlockKey, FifoCache, IplCache, LruCache};
 pub use collective::{CollectiveOutcome, CollectiveShare};
 pub use disk::{DiskModel, DiskState};
 pub use error::CfsError;
+pub use faults::CfsFaults;
 pub use fs::{Access, Cfs, CfsConfig, CfsMetrics, CfsStats, IoOutcome, OpenResult};
 pub use mode::IoMode;
 pub use strided::StridedSpec;

@@ -179,7 +179,7 @@ impl Cfs {
                 }
             }
         }
-        let out = self.serve_block_list(machine, node, file, &touches, now, is_write);
+        let out = self.serve_block_list(machine, node, file, &touches, now, is_write)?;
         if is_write {
             self.note_write(payload);
         } else {

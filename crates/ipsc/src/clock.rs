@@ -26,6 +26,15 @@ pub struct DriftClock {
     /// Offset, in microseconds, of the local clock at true time zero
     /// (imperfect boot-time synchronization).
     pub offset_us: f64,
+    /// True time (µs) at which this clock jumps forward once, or `0` for
+    /// no jump. Fault injection uses this to model operator intervention
+    /// or NTP-style step corrections; the linear model holds on either
+    /// side of the step.
+    pub jump_at_us: u64,
+    /// Size of the forward jump, µs. Only forward jumps are modeled so
+    /// each node's local time stays monotone (the trace-block pairing the
+    /// postprocessor relies on assumes monotone send stamps).
+    pub jump_us: u64,
 }
 
 impl DriftClock {
@@ -33,6 +42,8 @@ impl DriftClock {
     pub const PERFECT: DriftClock = DriftClock {
         drift_ppm: 0.0,
         offset_us: 0.0,
+        jump_at_us: 0,
+        jump_us: 0,
     };
 
     /// Create a clock with the given drift (ppm) and boot offset (µs).
@@ -48,12 +59,27 @@ impl DriftClock {
         DriftClock {
             drift_ppm,
             offset_us,
+            jump_at_us: 0,
+            jump_us: 0,
+        }
+    }
+
+    /// This clock with a one-time forward jump of `jump_us` µs at true
+    /// time `at_us` µs. `at_us == 0` disables the jump.
+    pub fn with_jump(self, at_us: u64, jump_us: u64) -> Self {
+        DriftClock {
+            jump_at_us: at_us,
+            jump_us,
+            ..self
         }
     }
 
     /// The local timestamp this node's clock shows at true time `t`.
     pub fn local_time(&self, t: SimTime) -> SimTime {
-        let skewed = self.offset_us + t.as_micros() as f64 * (1.0 + self.drift_ppm * 1e-6);
+        let mut skewed = self.offset_us + t.as_micros() as f64 * (1.0 + self.drift_ppm * 1e-6);
+        if self.jump_at_us != 0 && t.as_micros() >= self.jump_at_us {
+            skewed += self.jump_us as f64;
+        }
         SimTime::from_micros(skewed.max(0.0).round() as u64)
     }
 
@@ -61,7 +87,17 @@ impl DriftClock {
     /// `local`. Exact up to rounding; used by tests and by an oracle for the
     /// trace postprocessing (which only gets to *estimate* the model).
     pub fn true_time(&self, local: SimTime) -> SimTime {
-        let t = (local.as_micros() as f64 - self.offset_us) / (1.0 + self.drift_ppm * 1e-6);
+        let mut l = local.as_micros() as f64;
+        if self.jump_at_us != 0 {
+            // Local stamps at or past the step include the jump; stamps
+            // inside the skipped interval never occur on this clock.
+            let rate = 1.0 + self.drift_ppm * 1e-6;
+            let jump_local = self.offset_us + self.jump_at_us as f64 * rate + self.jump_us as f64;
+            if l >= jump_local {
+                l -= self.jump_us as f64;
+            }
+        }
+        let t = (l - self.offset_us) / (1.0 + self.drift_ppm * 1e-6);
         SimTime::from_micros(t.max(0.0).round() as u64)
     }
 }
@@ -110,6 +146,29 @@ mod tests {
             let back = c.true_time(c.local_time(t));
             let err = back.as_micros().abs_diff(t.as_micros());
             assert!(err <= 1, "round-trip error {err}us at t={t}");
+        }
+    }
+
+    #[test]
+    fn jump_steps_forward_once_and_still_inverts() {
+        let c = DriftClock::new(40.0, 250.0).with_jump(1_000_000, 2_000_000);
+        let before = c.local_time(SimTime::from_micros(999_999));
+        let after = c.local_time(SimTime::from_micros(1_000_000));
+        assert!(after.as_micros() >= before.as_micros() + 2_000_000);
+        for us in [1u64, 500_000, 1_000_000, 1_000_001, 5_000_000] {
+            let t = SimTime::from_micros(us);
+            let err = c
+                .true_time(c.local_time(t))
+                .as_micros()
+                .abs_diff(t.as_micros());
+            assert!(err <= 1, "round-trip error {err}us at t={t}");
+        }
+        // Local time stays monotone across the step.
+        let mut prev = SimTime::ZERO;
+        for us in (0..3_000_000).step_by(10_000) {
+            let l = c.local_time(SimTime::from_micros(us));
+            assert!(l >= prev);
+            prev = l;
         }
     }
 

@@ -19,11 +19,15 @@
 //!   latency model;
 //! * [`engine`] — a generic discrete-event queue used to interleave the
 //!   per-node programs of concurrently running jobs;
-//! * [`machine`] — the machine configuration tying it all together.
+//! * [`machine`] — the machine configuration tying it all together;
+//! * [`faults`] — deterministic chaos: a seeded [`FaultPlan`] injecting
+//!   disk errors, message delay/drop/duplication, I/O-node stalls, and
+//!   clock jumps, with outcomes independent of worker count.
 
 pub mod alloc;
 pub mod clock;
 pub mod engine;
+pub mod faults;
 pub mod invariant;
 pub mod machine;
 pub mod message;
@@ -33,6 +37,7 @@ pub mod topology;
 pub use alloc::SubcubeAllocator;
 pub use clock::DriftClock;
 pub use engine::{EventQueue, QueueMetrics};
+pub use faults::{FaultMetrics, FaultPlan, FaultRng, IoNodeDown, NetFaultState, RetryPolicy};
 pub use machine::{IoNodeId, Machine, MachineConfig, MachineMetrics, NodeId};
 pub use message::{Message, NetworkModel, PACKET_BYTES};
 pub use time::{Duration, SimTime};

@@ -11,8 +11,9 @@ use rand::Rng;
 
 use crate::alloc::SubcubeAllocator;
 use crate::clock::DriftClock;
+use crate::faults::{domain, FaultMetrics, FaultPlan, FaultRng, NetFaultState};
 use crate::message::{Message, NetworkModel};
-use crate::time::Duration;
+use crate::time::{Duration, SimTime};
 use crate::topology::Hypercube;
 
 /// Address of a compute node (an address within the hypercube).
@@ -121,6 +122,7 @@ pub struct Machine {
     /// Clock of the service node (the trace collector's reference clock).
     service_clock: DriftClock,
     metrics: Option<MachineMetrics>,
+    faults: Option<NetFaultState>,
 }
 
 impl Machine {
@@ -145,6 +147,7 @@ impl Machine {
             service_clock: DriftClock::PERFECT,
             config,
             metrics: None,
+            faults: None,
         }
     }
 
@@ -161,6 +164,7 @@ impl Machine {
             service_clock: DriftClock::PERFECT,
             config,
             metrics: None,
+            faults: None,
         }
     }
 
@@ -178,6 +182,55 @@ impl Machine {
                 .record_max(clock.offset_us.abs().round() as u64);
         }
         self.metrics = Some(metrics);
+    }
+
+    /// Inject network faults (message delay/drop/duplication) into every
+    /// latency query from now on. Attaching an inactive state is allowed
+    /// but pointless; callers normally gate on `FaultPlan::is_empty`.
+    pub fn attach_faults(&mut self, faults: NetFaultState) {
+        self.faults = Some(faults);
+    }
+
+    /// Apply the plan's clock-jump faults to the per-node clocks: each
+    /// node's fate (whether it jumps, when, and by how much) is a pure
+    /// hash of `(fault_seed, node)`, with jump times drawn from
+    /// `[1, horizon)`. Call before any local timestamps are taken.
+    pub fn apply_clock_faults(
+        &mut self,
+        plan: &FaultPlan,
+        fault_seed: u64,
+        horizon: SimTime,
+        metrics: Option<&FaultMetrics>,
+    ) {
+        if plan.clock_jump_ppm == 0 || plan.clock_jump_max_us == 0 {
+            return;
+        }
+        let rng = FaultRng::new(fault_seed);
+        for (node, clock) in self.clocks.iter_mut().enumerate() {
+            let id = node as u64;
+            if !rng.chance(plan.clock_jump_ppm, domain::CLOCK_FATE, &[id]) {
+                continue;
+            }
+            let span = horizon.as_micros().saturating_sub(1);
+            let at = rng.bounded(span, domain::CLOCK_AT, &[id]).max(1);
+            let jump = rng.bounded(
+                plan.clock_jump_max_us.saturating_sub(1),
+                domain::CLOCK_DELTA,
+                &[id],
+            ) + 1;
+            *clock = clock.with_jump(at, jump);
+            if let Some(m) = metrics {
+                m.clock_jumps.inc();
+                m.injected.inc();
+            }
+        }
+    }
+
+    fn fault_extra(&self, src: NodeId, dst: NodeId, bytes: u64) -> Duration {
+        match &self.faults {
+            Some(f) => Duration::from_micros(f.message_extra_us(src as u64, dst as u64, bytes)),
+            None => Duration::from_micros(0),
+        }
     }
 
     fn note_message(&self, msg: &Message, hops: u32) {
@@ -239,7 +292,7 @@ impl Machine {
         };
         let hops = self.hops_to_io(src, io);
         self.note_message(&msg, hops);
-        self.config.network.latency(&msg, hops)
+        self.config.network.latency(&msg, hops) + self.fault_extra(msg.src, msg.dst, bytes)
     }
 
     /// Latency of a compute-node-to-service-node message (trace flushes).
@@ -248,7 +301,7 @@ impl Machine {
         let msg = Message { src, dst: 0, bytes };
         let hops = self.cube.distance(src, 0) + 1;
         self.note_message(&msg, hops);
-        self.config.network.latency(&msg, hops)
+        self.config.network.latency(&msg, hops) + self.fault_extra(src, 0, bytes)
     }
 }
 
@@ -339,6 +392,47 @@ mod tests {
         let drift = snap.gauges["machine.clock_drift_ppb_max"];
         assert!(drift > 0 && drift <= 80_000, "drift {drift} ppb");
         assert!(snap.gauges["machine.clock_offset_us_max"] <= 5_000);
+    }
+
+    #[test]
+    fn net_faults_add_latency_deterministically() {
+        let plan = FaultPlan::chaos_fixture();
+        let mk = || {
+            let mut m = Machine::boot_synchronized(MachineConfig::nas_ipsc860());
+            m.attach_faults(NetFaultState::new(&plan, 5, None));
+            m
+        };
+        let (a, b) = (mk(), mk());
+        let la: Vec<_> = (0..300)
+            .map(|i| a.io_message_latency(5, 0, 4096 + i))
+            .collect();
+        let lb: Vec<_> = (0..300)
+            .map(|i| b.io_message_latency(5, 0, 4096 + i))
+            .collect();
+        assert_eq!(la, lb, "same seed, same seq, same outcomes");
+        let base = Machine::boot_synchronized(MachineConfig::nas_ipsc860());
+        let lbase: Vec<_> = (0..300)
+            .map(|i| base.io_message_latency(5, 0, 4096 + i))
+            .collect();
+        assert!(
+            la.iter().zip(&lbase).all(|(f, b)| f >= b),
+            "faults only add"
+        );
+        assert!(la.iter().zip(&lbase).any(|(f, b)| f > b), "fixture fires");
+    }
+
+    #[test]
+    fn clock_faults_jump_a_fraction_of_clocks() {
+        let plan = FaultPlan::chaos_fixture();
+        let mut m = Machine::boot_synchronized(MachineConfig::nas_ipsc860());
+        m.apply_clock_faults(&plan, 123, SimTime::from_hours(10), None);
+        let jumped = (0..128).filter(|&n| m.clock(n).jump_at_us > 0).count();
+        // 15 % of 128 nodes, give or take.
+        assert!((1..60).contains(&jumped), "jumped {jumped}");
+        for n in 0..128 {
+            let c = m.clock(n);
+            assert!(c.jump_us <= plan.clock_jump_max_us || c.jump_at_us == 0);
+        }
     }
 
     #[test]

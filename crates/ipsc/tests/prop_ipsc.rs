@@ -2,7 +2,7 @@
 //! and subcube-allocator safety under arbitrary request sequences.
 
 use charisma_ipsc::alloc::{Subcube, SubcubeAllocator};
-use charisma_ipsc::{EventQueue, Hypercube, SimTime};
+use charisma_ipsc::{EventQueue, FaultPlan, FaultRng, Hypercube, RetryPolicy, SimTime};
 use proptest::prelude::*;
 
 proptest! {
@@ -83,5 +83,85 @@ proptest! {
             }
             last = Some((t, i));
         }
+    }
+
+    /// Retry backoff is a pure function of `(seed, request id, attempt)`
+    /// — recomputing it never changes it — and is bounded by the cap at
+    /// every attempt, including the shifted-past-u64 tail.
+    #[test]
+    fn backoff_is_deterministic_and_capped(
+        seed in any::<u64>(),
+        request in any::<u64>(),
+        base in 1u64..100_000,
+        cap in 1u64..1_000_000,
+    ) {
+        let policy = RetryPolicy {
+            max_retries: 40,
+            base_backoff_us: base,
+            backoff_cap_us: cap,
+            timeout_us: 0,
+        };
+        let rng = FaultRng::new(seed);
+        for attempt in 0..40u32 {
+            let first = policy.backoff_us(&rng, request, attempt);
+            prop_assert_eq!(first, policy.backoff_us(&rng, request, attempt),
+                "backoff must be stateless");
+            prop_assert!(first <= cap.max(1),
+                "attempt {} backoff {} exceeds cap {}", attempt, first, cap);
+        }
+    }
+
+    /// Fault-plan text encoding round-trips every field exactly, for
+    /// arbitrary plans.
+    #[test]
+    fn fault_plan_text_codec_round_trips(
+        seed in any::<u64>(),
+        ppms in proptest::collection::vec(0u32..2_000_000, 8),
+        amounts in proptest::collection::vec(any::<u64>(), 4),
+        downs in proptest::collection::vec((any::<u32>(), any::<u64>()), 0..4),
+    ) {
+        let plan = FaultPlan {
+            seed,
+            disk_transient_ppm: ppms[0],
+            disk_degrade_ppm: ppms[1],
+            io_node_down: downs
+                .into_iter()
+                .map(|(io_node, at_us)| charisma_ipsc::IoNodeDown { io_node, at_us })
+                .collect(),
+            io_stall_ppm: ppms[2],
+            io_stall_us: amounts[0],
+            msg_delay_ppm: ppms[3],
+            msg_delay_max_us: amounts[1],
+            msg_drop_ppm: ppms[4],
+            msg_dup_ppm: ppms[5],
+            clock_jump_ppm: ppms[6],
+            clock_jump_max_us: amounts[2],
+            retry: RetryPolicy {
+                max_retries: (ppms[7] % 16),
+                base_backoff_us: amounts[3],
+                backoff_cap_us: amounts[3].wrapping_mul(3),
+                timeout_us: amounts[1] / 2,
+            },
+        };
+        let parsed = FaultPlan::parse(&plan.encode()).expect("encoded plan parses");
+        prop_assert_eq!(parsed, plan);
+    }
+
+    /// Fault decisions depend only on the identity ids handed in, never
+    /// on query order: evaluating the same `(domain, ids)` pair before,
+    /// after, or interleaved with arbitrary other queries gives the same
+    /// answer.
+    #[test]
+    fn fault_decisions_are_order_independent(
+        seed in any::<u64>(),
+        probe in proptest::collection::vec(any::<u64>(), 1..4),
+        noise in proptest::collection::vec((1u64..12, proptest::collection::vec(any::<u64>(), 0..3)), 0..20),
+    ) {
+        let rng = FaultRng::new(seed);
+        let before = rng.decide(5, &probe);
+        for (domain, ids) in &noise {
+            let _ = rng.decide(*domain, ids);
+        }
+        prop_assert_eq!(rng.decide(5, &probe), before);
     }
 }

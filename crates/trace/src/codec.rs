@@ -226,6 +226,93 @@ pub fn payload_len(tag: u8) -> Option<usize> {
     }
 }
 
+/// Outcome counters of a tolerant decode pass ([`decode_events_tolerant`]
+/// and `file::read_trace_tolerant`): what was recovered, what was lost.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DecodeStats {
+    /// Records successfully decoded.
+    pub records_decoded: u64,
+    /// Corrupt regions skipped (each region may hide one or more records).
+    pub records_skipped: u64,
+    /// Total bytes discarded while resynchronizing.
+    pub bytes_skipped: u64,
+    /// The input ended mid-record (or mid-structure) and the tail was
+    /// unrecoverable.
+    pub truncated: bool,
+}
+
+impl DecodeStats {
+    /// Fold another pass's counters into this one.
+    pub fn merge(&mut self, other: &DecodeStats) {
+        self.records_decoded += other.records_decoded;
+        self.records_skipped += other.records_skipped;
+        self.bytes_skipped += other.bytes_skipped;
+        self.truncated |= other.truncated;
+    }
+}
+
+/// Records a resync candidate must chain-decode before we accept it. One
+/// lucky byte can masquerade as a tag; three consecutive well-formed
+/// records starting from a wrong offset is vanishingly unlikely.
+const RESYNC_CHAIN: usize = 3;
+
+pub(crate) fn chain_validates(mut buf: &[u8]) -> bool {
+    for _ in 0..RESYNC_CHAIN {
+        if buf.is_empty() {
+            return true;
+        }
+        if decode_event(&mut buf).is_err() {
+            return false;
+        }
+    }
+    true
+}
+
+/// Decode a flat record stream, resynchronizing past corrupt bytes
+/// instead of aborting.
+///
+/// On a record error the decoder scans forward one byte at a time until
+/// it finds an offset where [`RESYNC_CHAIN`] consecutive records (or the
+/// clean end of the buffer) parse, then resumes there. Every uncorrupted
+/// record downstream of a corrupt region is therefore recovered; the
+/// region itself is reported in [`DecodeStats`], never silently dropped.
+pub fn decode_events_tolerant(mut buf: &[u8]) -> (Vec<Event>, DecodeStats) {
+    let mut events = Vec::new();
+    let mut stats = DecodeStats::default();
+    while !buf.is_empty() {
+        let before = buf;
+        match decode_event(&mut buf) {
+            Ok(e) => {
+                events.push(e);
+                stats.records_decoded += 1;
+            }
+            Err(err) => {
+                let mut resumed = false;
+                for skip in 1..before.len() {
+                    if chain_validates(&before[skip..]) {
+                        stats.records_skipped += 1;
+                        stats.bytes_skipped += skip as u64;
+                        buf = &before[skip..];
+                        resumed = true;
+                        break;
+                    }
+                }
+                if !resumed {
+                    // Nothing decodable remains; charge the tail.
+                    stats.bytes_skipped += before.len() as u64;
+                    if matches!(err, DecodeError::Truncated) {
+                        stats.truncated = true;
+                    } else {
+                        stats.records_skipped += 1;
+                    }
+                    buf = &[];
+                }
+            }
+        }
+    }
+    (events, stats)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -353,6 +440,76 @@ mod tests {
         buf.extend_from_slice(&[0u8; 8]);
         let mut slice = buf.as_slice();
         assert_eq!(decode_event(&mut slice), Err(DecodeError::BadTag(99)));
+    }
+
+    #[test]
+    fn tolerant_decode_of_clean_stream_is_lossless() {
+        let events = sample_events();
+        let mut buf = Vec::new();
+        for e in &events {
+            encode_event(e, &mut buf);
+        }
+        let (decoded, stats) = decode_events_tolerant(&buf);
+        assert_eq!(decoded, events);
+        assert_eq!(
+            stats,
+            DecodeStats {
+                records_decoded: events.len() as u64,
+                ..DecodeStats::default()
+            }
+        );
+    }
+
+    #[test]
+    fn tolerant_decode_resyncs_past_a_clobbered_record() {
+        let events = sample_events();
+        let mut buf = Vec::new();
+        let mut offsets = vec![0usize];
+        for e in &events {
+            encode_event(e, &mut buf);
+            offsets.push(buf.len());
+        }
+        // Clobber the middle record entirely (0xFF is never a valid tag).
+        let victim = events.len() / 2;
+        for b in &mut buf[offsets[victim]..offsets[victim + 1]] {
+            *b = 0xFF;
+        }
+        let (decoded, stats) = decode_events_tolerant(&buf);
+        let survivors: Vec<Event> = events
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != victim)
+            .map(|(_, e)| *e)
+            .collect();
+        assert_eq!(decoded, survivors, "all uncorrupted records recovered");
+        assert_eq!(stats.records_skipped, 1);
+        assert_eq!(
+            stats.bytes_skipped,
+            (offsets[victim + 1] - offsets[victim]) as u64
+        );
+        assert!(!stats.truncated);
+    }
+
+    #[test]
+    fn tolerant_decode_reports_truncation() {
+        let events = sample_events();
+        let mut buf = Vec::new();
+        for e in &events {
+            encode_event(e, &mut buf);
+        }
+        buf.truncate(buf.len() - 3);
+        let (decoded, stats) = decode_events_tolerant(&buf);
+        assert_eq!(decoded.len(), events.len() - 1);
+        assert!(stats.truncated);
+    }
+
+    #[test]
+    fn tolerant_decode_never_panics_on_garbage() {
+        let garbage: Vec<u8> = (0..4096u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 13) as u8)
+            .collect();
+        let (_, stats) = decode_events_tolerant(&garbage);
+        assert!(stats.records_decoded + stats.records_skipped > 0 || stats.bytes_skipped > 0);
     }
 
     #[test]

@@ -98,6 +98,103 @@ pub fn read_trace<R: Read>(mut r: R) -> Result<Trace, TraceFileError> {
     Ok(Trace { header, blocks })
 }
 
+/// A trace salvaged by [`read_trace_tolerant`], with the damage report.
+#[derive(Debug)]
+pub struct TolerantTrace {
+    /// Everything that could be recovered.
+    pub trace: Trace,
+    /// What was lost along the way.
+    pub stats: codec::DecodeStats,
+}
+
+/// Deserialize a trace, salvaging past corrupt records instead of
+/// aborting.
+///
+/// The header must be intact (there is nothing to salvage without one);
+/// after that, a corrupt record resynchronizes via the codec's
+/// chain-validated scan, a corrupt region is charged to
+/// [`codec::DecodeStats`], and a file that ends mid-structure returns
+/// every block recovered so far with `stats.truncated` set.
+pub fn read_trace_tolerant<R: Read>(mut r: R) -> Result<TolerantTrace, TraceFileError> {
+    let mut raw = Vec::new();
+    r.read_to_end(&mut raw)?;
+    let mut buf = raw.as_slice();
+    let header = codec::decode_header(&mut buf)?;
+    let mut stats = codec::DecodeStats::default();
+    let mut blocks = Vec::new();
+    if buf.remaining() < 8 {
+        stats.truncated = true;
+        return Ok(TolerantTrace {
+            trace: Trace { header, blocks },
+            stats,
+        });
+    }
+    let nblocks = buf.get_u64_le() as usize;
+    'blocks: for _ in 0..nblocks {
+        if buf.remaining() < 2 + 8 + 8 + 4 {
+            stats.truncated = true;
+            break;
+        }
+        let node = buf.get_u16_le();
+        let send_local = SimTime::from_micros(buf.get_u64_le());
+        let recv_service = SimTime::from_micros(buf.get_u64_le());
+        let count = buf.get_u32_le() as usize;
+        let mut events = Vec::with_capacity(count.min(1 << 16));
+        // A corrupt region inside a block is assumed to hide one record
+        // (in-place corruption); `consumed` tracks decoded + skipped so
+        // the block still ends where its record count says it does.
+        let mut consumed = 0usize;
+        while consumed < count {
+            let before = buf;
+            match codec::decode_event(&mut buf) {
+                Ok(e) => {
+                    events.push(e);
+                    stats.records_decoded += 1;
+                    consumed += 1;
+                }
+                Err(err) => {
+                    let mut resumed = false;
+                    for skip in 1..before.len() {
+                        if codec::chain_validates(&before[skip..]) {
+                            stats.records_skipped += 1;
+                            stats.bytes_skipped += skip as u64;
+                            buf = &before[skip..];
+                            consumed += 1;
+                            resumed = true;
+                            break;
+                        }
+                    }
+                    if !resumed {
+                        stats.bytes_skipped += before.len() as u64;
+                        if matches!(err, DecodeError::Truncated) {
+                            stats.truncated = true;
+                        } else {
+                            stats.records_skipped += 1;
+                        }
+                        blocks.push(Block {
+                            node,
+                            send_local,
+                            recv_service,
+                            events,
+                        });
+                        break 'blocks;
+                    }
+                }
+            }
+        }
+        blocks.push(Block {
+            node,
+            send_local,
+            recv_service,
+            events,
+        });
+    }
+    Ok(TolerantTrace {
+        trace: Trace { header, blocks },
+        stats,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -26,6 +26,8 @@ pub mod postprocess;
 pub mod record;
 
 pub use builder::{Block, Trace, TraceBuilder};
+pub use codec::{decode_events_tolerant, DecodeStats};
+pub use file::{read_trace, read_trace_tolerant, write_trace, TolerantTrace, TraceFileError};
 pub use merge::{merge_shards, MergeMetrics, MergedEvents};
 pub use postprocess::{postprocess, OrderedEvent};
 pub use record::{

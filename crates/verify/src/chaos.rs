@@ -1,0 +1,153 @@
+//! The chaos gate: determinism and observability under fault injection.
+//!
+//! The fault layer's central claim is that injecting faults does not cost
+//! determinism: every fault decision is a pure hash of the plan seed and
+//! stable event identities (never of evaluation order or thread timing),
+//! so a chaos run must be exactly as repeatable and worker-count-invariant
+//! as a clean one. `charisma-verify chaos` turns that into a gate:
+//!
+//! 1. **Plan fixture** — the canonical chaos plan
+//!    ([`FaultPlan::chaos_fixture`]) is checked in as
+//!    `crates/verify/fixtures/fault_plan_chaos.txt`. The gate parses the
+//!    fixture and compares it field-for-field against the builtin, so any
+//!    drift in either the plan or its text codec is visible in review.
+//! 2. **Repeatability** — the sharded pipeline runs twice under the plan
+//!    on `N` workers; the record streams must be byte-identical.
+//! 3. **Worker-count invariance** — the `N`-worker chaos stream must be
+//!    byte-identical to the serial one.
+//! 4. **Fault-metrics snapshot** — the chaos run's deterministic metrics
+//!    core (which now includes the `faults.*` counters) is diffed against
+//!    `crates/verify/fixtures/metrics_snapshot_chaos.json`, pinning the
+//!    exact number of injected faults, retries, timeouts, and degraded
+//!    serves at the gate's seed and scale.
+//!
+//! Run the binary with `--features invariants` (CI does) and every
+//! `invariant!` assertion in the simulation crates is live while the
+//! faults fire.
+
+use charisma::Pipeline;
+use charisma_ipsc::FaultPlan;
+
+use crate::determinism::{check_determinism, sharded_record_stream_with_faults, DeterminismReport};
+
+/// The canonical chaos plan the gate runs under — a moderately hostile
+/// environment: disk transients, one I/O node lost an hour in, service
+/// stalls, message delay/drop/duplication, and clock jumps.
+pub fn chaos_plan() -> FaultPlan {
+    FaultPlan::chaos_fixture()
+}
+
+/// Run the sharded pipeline twice under the chaos plan on `workers`
+/// threads and diff the record streams.
+pub fn check_chaos_determinism(seed: u64, scale: f64, workers: usize) -> DeterminismReport {
+    check_determinism(
+        sharded_record_stream_with_faults(seed, scale, workers, chaos_plan()),
+        sharded_record_stream_with_faults(seed, scale, workers, chaos_plan()),
+    )
+}
+
+/// Diff the serial chaos run against a `workers`-thread chaos run: fault
+/// injection must not make worker count observable.
+pub fn check_chaos_shard_equivalence(seed: u64, scale: f64, workers: usize) -> DeterminismReport {
+    check_determinism(
+        sharded_record_stream_with_faults(seed, scale, 1, chaos_plan()),
+        sharded_record_stream_with_faults(seed, scale, workers, chaos_plan()),
+    )
+}
+
+/// Render the deterministic metrics core of a chaos-plan pipeline run.
+pub fn chaos_metrics_json(
+    seed: u64,
+    scale: f64,
+    workers: usize,
+) -> Result<String, charisma::Error> {
+    let out = Pipeline::new()
+        .seed(seed)
+        .scale(scale)
+        .shards(workers)
+        .faults(chaos_plan())
+        .run()?;
+    Ok(out.metrics.to_core_json())
+}
+
+/// Sanity-check a chaos run's metrics core: problems with the fault
+/// counters that no fixture diff would name clearly.
+///
+/// Returns human-readable complaints; empty means the chaos layer was
+/// demonstrably active and the recovery machinery demonstrably engaged.
+pub fn check_fault_activity(core_json: &str) -> Vec<String> {
+    let mut complaints = Vec::new();
+    let mut require = |key: &str| {
+        let value = counter_value(core_json, key);
+        match value {
+            None => complaints.push(format!("`{key}` missing from the chaos metrics core")),
+            Some(0) => complaints.push(format!(
+                "`{key}` is zero: the chaos fixture must exercise it"
+            )),
+            Some(_) => {}
+        }
+    };
+    require("faults.injected");
+    require("faults.disk_transient");
+    require("faults.retried");
+    require("faults.degraded");
+    require("faults.msg_delayed");
+    require("faults.clock_jumps");
+    complaints
+}
+
+/// Extract a `"key": value` counter from the canonical core JSON.
+fn counter_value(core_json: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\": ");
+    let at = core_json.find(&needle)?;
+    let rest = &core_json[at + needle.len()..];
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+/// Compare a parsed plan fixture against the builtin chaos plan.
+///
+/// Returns `None` on match, or a description of the first field-level
+/// divergence (via the plans' `Debug` forms, which name every field).
+pub fn diff_plan(fixture: &FaultPlan) -> Option<String> {
+    let builtin = chaos_plan();
+    if *fixture == builtin {
+        return None;
+    }
+    Some(format!(
+        "fixture plan != builtin chaos plan\n  fixture: {fixture:?}\n  builtin: {builtin:?}"
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_round_trips_through_the_text_codec() {
+        let encoded = chaos_plan().encode();
+        let parsed = FaultPlan::parse(&encoded).expect("canonical plan parses");
+        assert_eq!(diff_plan(&parsed), None);
+    }
+
+    #[test]
+    fn diff_plan_names_a_divergence() {
+        let mut tweaked = chaos_plan();
+        tweaked.disk_transient_ppm += 1;
+        let complaint = diff_plan(&tweaked).expect("divergence detected");
+        assert!(complaint.contains("disk_transient_ppm"), "{complaint}");
+    }
+
+    #[test]
+    fn counter_extraction_reads_canonical_json() {
+        let json = "{\n  \"counters\": {\n    \"faults.injected\": 42,\n    \"x\": 0\n  }\n}";
+        assert_eq!(counter_value(json, "faults.injected"), Some(42));
+        assert_eq!(counter_value(json, "x"), Some(0));
+        assert_eq!(counter_value(json, "missing"), None);
+        let complaints = check_fault_activity(json);
+        assert!(
+            complaints.iter().any(|c| c.contains("faults.retried")),
+            "missing counters are named: {complaints:?}"
+        );
+    }
+}

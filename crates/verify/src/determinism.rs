@@ -14,6 +14,7 @@
 //! - [`check_pipeline_determinism`] instantiates it on the real pipeline.
 
 use charisma_core::report::Report;
+use charisma_ipsc::FaultPlan;
 use charisma_trace::codec;
 use charisma_trace::postprocess::postprocess;
 use charisma_trace::OrderedEvent;
@@ -185,10 +186,26 @@ pub fn pipeline_record_stream(seed: u64, scale: f64) -> Vec<Vec<u8>> {
 /// of `workers`, so this stream must be byte-identical for every worker
 /// count — [`check_shard_equivalence`] is that claim as a check.
 pub fn sharded_record_stream(seed: u64, scale: f64, workers: usize) -> Vec<Vec<u8>> {
+    sharded_record_stream_with_faults(seed, scale, workers, FaultPlan::none())
+}
+
+/// [`sharded_record_stream`] under a fault-injection plan.
+///
+/// The chaos harness ([`crate::chaos`]) instantiates the same
+/// worker-count-invariance checks on a faulted run: fault decisions are
+/// pure hashes of stable identities, so the stream must stay
+/// byte-identical for every worker count even while faults fire.
+pub fn sharded_record_stream_with_faults(
+    seed: u64,
+    scale: f64,
+    workers: usize,
+    faults: FaultPlan,
+) -> Vec<Vec<u8>> {
     let sharded = generate_sharded(
         &GeneratorConfig {
             scale,
             seed,
+            faults,
             ..Default::default()
         },
         workers,

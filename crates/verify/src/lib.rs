@@ -17,14 +17,29 @@
 //!   deterministic core (counters/gauges/histograms) is diffed against a
 //!   checked-in fixture, and an `N`-worker run must merge to the same core
 //!   as the serial run.
+//! - [`chaos`] — the same repeatability and worker-count-invariance
+//!   checks, run *under the canonical fault-injection plan*, plus a
+//!   fault-metrics snapshot gate — the proof that the chaos layer is
+//!   deterministic and the recovery machinery actually engages.
 //!
-//! The binary (`charisma-verify lint|determinism|metrics`) is the gate CI
-//! and all future perf/scaling PRs run behind.
+//! The binary (`charisma-verify lint|determinism|metrics|chaos`) is the
+//! gate CI and all future perf/scaling PRs run behind.
 
+pub mod chaos;
 pub mod determinism;
 pub mod lint;
 pub mod metrics;
 
+/// Whether this build of the verifier carries the workspace's runtime
+/// `invariant!` assertions. The CI chaos job builds with
+/// `--features invariants` so the fault machinery is exercised with every
+/// internal consistency check live.
+pub const INVARIANTS_ENABLED: bool = cfg!(feature = "invariants");
+
+pub use chaos::{
+    chaos_metrics_json, chaos_plan, check_chaos_determinism, check_chaos_shard_equivalence,
+    check_fault_activity, diff_plan,
+};
 pub use determinism::{
     check_pipeline_determinism, check_shard_equivalence, check_sharded_determinism,
     DeterminismReport, Divergence,

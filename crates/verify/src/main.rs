@@ -5,6 +5,8 @@
 //! charisma-verify determinism [--seed N] [--scale F] [--shards N]
 //! charisma-verify metrics [--seed N] [--scale F] [--shards N]
 //!                         [--fixture PATH] [--write]
+//! charisma-verify chaos [--seed N] [--scale F] [--shards N]
+//!                       [--fixture PATH] [--plan PATH] [--write]
 //! ```
 //!
 //! With `--shards N`, the determinism check runs the sharded pipeline on
@@ -16,6 +18,12 @@
 //! merged metrics equal the serial run's); `--write` regenerates the
 //! fixture instead.
 //!
+//! The chaos check replays the determinism and metrics gates under the
+//! canonical fault-injection plan: the plan fixture must match the
+//! builtin, the faulted stream must be repeatable and worker-count
+//! invariant, the fault counters must show the chaos machinery engaged,
+//! and the chaos metrics core must match its own fixture.
+//!
 //! All subcommands exit 0 on success and 1 on violation/divergence, so the
 //! binary slots directly into CI.
 
@@ -23,8 +31,10 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use charisma_verify::{
-    check_metrics_shard_equivalence, check_pipeline_determinism, check_shard_equivalence,
-    check_sharded_determinism, core_metrics_json, diff_json, lint_workspace, LintConfig,
+    chaos_metrics_json, chaos_plan, check_chaos_determinism, check_chaos_shard_equivalence,
+    check_fault_activity, check_metrics_shard_equivalence, check_pipeline_determinism,
+    check_shard_equivalence, check_sharded_determinism, core_metrics_json, diff_json, diff_plan,
+    lint_workspace, LintConfig,
 };
 
 fn usage() -> ExitCode {
@@ -38,7 +48,12 @@ fn usage() -> ExitCode {
            metrics      [--seed N] [--scale F] [--shards N] [--fixture PATH] [--write]\n\
                         diff the deterministic metrics core against the fixture;\n\
                         with --shards, also prove N-worker metrics merge to the\n\
-                        serial values; --write regenerates the fixture"
+                        serial values; --write regenerates the fixture\n\
+           chaos        [--seed N] [--scale F] [--shards N] [--fixture PATH]\n\
+                        [--plan PATH] [--write]\n\
+                        rerun the determinism and metrics gates under the\n\
+                        canonical fault-injection plan; --write regenerates the\n\
+                        plan and chaos-metrics fixtures"
     );
     ExitCode::from(2)
 }
@@ -49,6 +64,7 @@ fn main() -> ExitCode {
         Some("lint") => run_lint(&args[1..]),
         Some("determinism") => run_determinism(&args[1..]),
         Some("metrics") => run_metrics(&args[1..]),
+        Some("chaos") => run_chaos(&args[1..]),
         _ => usage(),
     }
 }
@@ -247,6 +263,164 @@ fn run_metrics(args: &[String]) -> ExitCode {
             }
         }
     }
+    ExitCode::SUCCESS
+}
+
+/// Default chaos-metrics fixture:
+/// `crates/verify/fixtures/metrics_snapshot_chaos.json`.
+fn default_chaos_fixture() -> PathBuf {
+    find_workspace_root().join("crates/verify/fixtures/metrics_snapshot_chaos.json")
+}
+
+/// Default chaos-plan fixture: `crates/verify/fixtures/fault_plan_chaos.txt`.
+fn default_plan_fixture() -> PathBuf {
+    find_workspace_root().join("crates/verify/fixtures/fault_plan_chaos.txt")
+}
+
+fn run_chaos(args: &[String]) -> ExitCode {
+    let (seed, scale, shards) = match (
+        parsed_flag(args, "--seed", 4994u64),
+        parsed_flag(args, "--scale", 0.05f64),
+        parsed_flag(args, "--shards", 4usize),
+    ) {
+        (Ok(seed), Ok(scale), Ok(shards)) => (seed, scale, shards),
+        (Err(e), _, _) | (_, Err(e), _) | (_, _, Err(e)) => {
+            eprintln!("charisma-verify chaos: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let fixture = flag_value(args, "--fixture")
+        .map(PathBuf::from)
+        .unwrap_or_else(default_chaos_fixture);
+    let plan_path = flag_value(args, "--plan")
+        .map(PathBuf::from)
+        .unwrap_or_else(default_plan_fixture);
+    let write = args.iter().any(|a| a == "--write");
+
+    println!(
+        "charisma-verify chaos: seed={seed} scale={scale} shards={shards}, \
+         invariants {}",
+        if charisma_verify::INVARIANTS_ENABLED {
+            "ENABLED"
+        } else {
+            "disabled (build with --features invariants for the full gate)"
+        }
+    );
+
+    // 1. The checked-in plan fixture must match the builtin chaos plan.
+    if write {
+        if let Err(e) = std::fs::write(&plan_path, chaos_plan().encode()) {
+            eprintln!(
+                "charisma-verify chaos: cannot write {}: {e}",
+                plan_path.display()
+            );
+            return ExitCode::from(2);
+        }
+        println!("plan fixture regenerated: {}", plan_path.display());
+    } else {
+        let text = match std::fs::read_to_string(&plan_path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!(
+                    "charisma-verify chaos: cannot read {}: {e}\n\
+                     (regenerate with: charisma-verify chaos --write)",
+                    plan_path.display()
+                );
+                return ExitCode::from(2);
+            }
+        };
+        let parsed = match charisma_ipsc::FaultPlan::parse(&text) {
+            Ok(plan) => plan,
+            Err(e) => {
+                println!("chaos PLAN FIXTURE UNPARSEABLE: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Some(divergence) = diff_plan(&parsed) {
+            println!("chaos PLAN FIXTURE MISMATCH: {divergence}");
+            return ExitCode::FAILURE;
+        }
+        println!("plan fixture matches the builtin chaos plan");
+    }
+
+    // 2. Repeatability: two faulted runs on the same worker count agree.
+    println!("running the chaos pipeline twice on {shards} worker(s)...");
+    if !print_outcome("chaos", &check_chaos_determinism(seed, scale, shards)) {
+        return ExitCode::FAILURE;
+    }
+
+    // 3. Worker-count invariance under faults.
+    if shards > 1 {
+        println!("comparing the {shards}-worker chaos run against the serial run...");
+        if !print_outcome(
+            "chaos serial-vs-sharded",
+            &check_chaos_shard_equivalence(seed, scale, shards),
+        ) {
+            return ExitCode::FAILURE;
+        }
+    }
+
+    // 4. Fault-metrics snapshot: the chaos core JSON, faults.* included.
+    println!("rendering the chaos metrics core...");
+    let core = match chaos_metrics_json(seed, scale, shards) {
+        Ok(core) => core,
+        Err(e) => {
+            eprintln!("charisma-verify chaos: pipeline error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let complaints = check_fault_activity(&core);
+    if !complaints.is_empty() {
+        for c in &complaints {
+            println!("  {c}");
+        }
+        println!(
+            "chaos FAULT ACTIVITY MISSING: {} complaint(s)",
+            complaints.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("fault counters show the chaos machinery engaged");
+
+    if write {
+        if let Err(e) = std::fs::write(&fixture, &core) {
+            eprintln!(
+                "charisma-verify chaos: cannot write {}: {e}",
+                fixture.display()
+            );
+            return ExitCode::from(2);
+        }
+        println!("chaos metrics fixture regenerated: {}", fixture.display());
+        return ExitCode::SUCCESS;
+    }
+    let expected = match std::fs::read_to_string(&fixture) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!(
+                "charisma-verify chaos: cannot read {}: {e}\n\
+                 (regenerate with: charisma-verify chaos --write)",
+                fixture.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let diffs = diff_json(&expected, &core);
+    if !diffs.is_empty() {
+        for d in diffs.iter().take(20) {
+            println!("  {d}");
+        }
+        println!(
+            "chaos SNAPSHOT MISMATCH: {} line(s) differ from {}\n\
+             (if the change is intended, regenerate with: charisma-verify chaos --write)",
+            diffs.len(),
+            fixture.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "chaos metrics core matches the fixture ({} lines)",
+        core.lines().count()
+    );
     ExitCode::SUCCESS
 }
 

@@ -4,10 +4,11 @@
 
 use std::collections::HashMap;
 
-use charisma_cfs::{Access, Cfs, CfsConfig, CfsError, CfsMetrics, IoMode};
+use charisma_cfs::{Access, Cfs, CfsConfig, CfsError, CfsFaults, CfsMetrics, IoMode};
 use charisma_ipsc::alloc::Subcube;
 use charisma_ipsc::{
-    Duration, EventQueue, Machine, MachineConfig, MachineMetrics, QueueMetrics, SimTime,
+    faults, Duration, EventQueue, FaultMetrics, FaultPlan, Machine, MachineConfig, MachineMetrics,
+    NetFaultState, QueueMetrics, SimTime,
 };
 use charisma_obs::{MetricsRegistry, MetricsSnapshot};
 use charisma_trace::record::{AccessKind, EventBody, TraceHeader};
@@ -33,6 +34,10 @@ pub struct GeneratorConfig {
     pub machine: MachineConfig,
     /// File system to simulate.
     pub cfs: CfsConfig,
+    /// Fault-injection plan. The default ([`FaultPlan::none`]) attaches
+    /// no fault state at all: the generated trace and metrics snapshot
+    /// are byte-identical to a build without the chaos layer.
+    pub faults: FaultPlan,
 }
 
 impl Default for GeneratorConfig {
@@ -42,6 +47,7 @@ impl Default for GeneratorConfig {
             seed: 4994,
             machine: MachineConfig::nas_ipsc860(),
             cfs: CfsConfig::nas(),
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -207,6 +213,18 @@ impl Generator {
         machine.attach_metrics(MachineMetrics::register(&metrics));
         let mut cfs = Cfs::new(config.cfs.clone());
         cfs.attach_metrics(CfsMetrics::register(&metrics));
+        if !config.faults.is_empty() {
+            // Fault decisions draw from a dedicated seed stream mixed
+            // from the plan seed and this generator's (shard-derived)
+            // seed: injection never perturbs the workload RNG, and the
+            // outcome is identical for every worker count. Clock jumps
+            // must land before the TraceBuilder copies the clocks below.
+            let fseed = faults::mix_seed(config.faults.seed, seed);
+            let fm = FaultMetrics::register(&metrics);
+            machine.apply_clock_faults(&config.faults, fseed, mix.trace_len, Some(&fm));
+            machine.attach_faults(NetFaultState::new(&config.faults, fseed, Some(fm.clone())));
+            cfs.attach_faults(CfsFaults::new(&config.faults, fseed, Some(fm)));
+        }
         let header = TraceHeader {
             version: TraceHeader::VERSION,
             compute_nodes: config.machine.compute_nodes() as u32,
@@ -306,9 +324,15 @@ impl Generator {
             let mut written = 0u64;
             while written < size {
                 let chunk = (size - written).min(1 << 20) as u32;
-                self.cfs
+                if self
+                    .cfs
                     .write(&self.machine, open.session, 0, chunk, SimTime::ZERO)
-                    .expect("dataset staging");
+                    .is_err()
+                {
+                    // Out of space or every stripe target down: stage what
+                    // fit. Jobs read whatever the dataset ended up holding.
+                    break;
+                }
                 written += u64::from(chunk);
             }
             self.cfs.close(open.session, 0).expect("dataset close");
@@ -436,9 +460,11 @@ impl Generator {
                         false,
                     )
                     .expect("staging open");
-                self.cfs
-                    .write(&self.machine, open.session, 0, size as u32, SimTime::ZERO)
-                    .expect("staging write");
+                // Out of space or every stripe target down: stage a short
+                // input; reads past its end clamp to the actual size.
+                let _ = self
+                    .cfs
+                    .write(&self.machine, open.session, 0, size as u32, SimTime::ZERO);
                 self.cfs.close(open.session, 0).expect("staging close");
                 cleanup.push(open.file);
                 (
@@ -540,22 +566,29 @@ impl Generator {
                 }
                 Op::Read { slot, bytes } => {
                     let session = self.slot_session(job, slot);
-                    let out = self
-                        .cfs
-                        .read(&self.machine, session, node as u16, bytes, t)
-                        .expect("read is valid");
-                    self.stats.requests += 1;
-                    self.log_node(
-                        node,
-                        t,
-                        EventBody::Read {
-                            session,
-                            offset: out.offset,
-                            bytes: out.bytes,
-                        },
-                    );
-                    self.queue.push(out.completion, Ev::NodeStep { job, local });
-                    return;
+                    match self.cfs.read(&self.machine, session, node as u16, bytes, t) {
+                        Ok(out) => {
+                            self.stats.requests += 1;
+                            self.log_node(
+                                node,
+                                t,
+                                EventBody::Read {
+                                    session,
+                                    offset: out.offset,
+                                    bytes: out.bytes,
+                                },
+                            );
+                            self.queue.push(out.completion, Ev::NodeStep { job, local });
+                            return;
+                        }
+                        Err(CfsError::Degraded { .. }) => {
+                            // Every replica of a stripe is down: the read
+                            // fails back to the application, which skips
+                            // it and keeps going (degraded mode).
+                            continue;
+                        }
+                        Err(e) => panic!("unexpected CFS error: {e}"),
+                    }
                 }
                 Op::Write { slot, bytes } => {
                     let session = self.slot_session(job, slot);
@@ -577,10 +610,11 @@ impl Generator {
                             self.queue.push(out.completion, Ev::NodeStep { job, local });
                             return;
                         }
-                        Err(CfsError::NoSpace { .. }) => {
-                            // Disk full: the job skips the write (users of
-                            // the real machine hit this too — §4.2 suspects
-                            // capacity limited file sizes). Keep going.
+                        Err(CfsError::NoSpace { .. }) | Err(CfsError::Degraded { .. }) => {
+                            // Disk full (users of the real machine hit
+                            // this too — §4.2 suspects capacity limited
+                            // file sizes) or every target I/O node down:
+                            // the job skips the write and keeps going.
                             continue;
                         }
                         Err(e) => panic!("unexpected CFS error: {e}"),

@@ -31,4 +31,6 @@ pub mod shard;
 pub use generate::{generate, GenStats, GeneratedWorkload, GeneratorConfig};
 pub use mix::{JobClass, JobPlan, Mix};
 pub use program::{FileSlot, Op, Program};
-pub use shard::{generate_sharded, ShardedWorkload, LOGICAL_SHARDS};
+pub use shard::{
+    generate_sharded, try_generate_sharded, ShardFailure, ShardedWorkload, LOGICAL_SHARDS,
+};

@@ -31,6 +31,8 @@
 //! sequentiality, regularity, modes, sharing — is per-job and survives
 //! sharding unchanged.
 
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -184,6 +186,92 @@ fn rebase_ids(workload: &mut GeneratedWorkload, shard: usize) {
     }
 }
 
+/// A shard worker that failed even after bounded retry.
+///
+/// Carried out of [`try_generate_sharded`] instead of letting the panic
+/// tear down the whole pipeline: the caller learns which shard died, how
+/// many attempts were made, and the panic's message.
+#[derive(Clone, Debug)]
+pub struct ShardFailure {
+    /// Which shard failed.
+    pub shard: usize,
+    /// How many times it was attempted.
+    pub attempts: u32,
+    /// The last panic's message.
+    pub message: String,
+}
+
+impl std::fmt::Display for ShardFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "shard {} failed after {} attempts: {}",
+            self.shard, self.attempts, self.message
+        )
+    }
+}
+
+impl std::error::Error for ShardFailure {}
+
+/// Bounded retry budget for a panicking shard worker.
+const SHARD_ATTEMPTS: u32 = 3;
+
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run `work` up to `attempts` times, containing panics. Returns the
+/// first success together with how many retries it took, or the last
+/// panic's message as a [`ShardFailure`].
+///
+/// Shard generation is a pure function of its inputs, so a deterministic
+/// panic recurs on every attempt; the retry budget exists for the
+/// environmental failures (allocation pressure, injected test panics)
+/// that containment is for.
+pub(crate) fn contain_panics<T>(
+    shard: usize,
+    attempts: u32,
+    work: impl Fn() -> T,
+) -> Result<(T, u32), ShardFailure> {
+    let mut message = String::new();
+    for attempt in 0..attempts.max(1) {
+        match catch_unwind(AssertUnwindSafe(&work)) {
+            Ok(out) => return Ok((out, attempt)),
+            Err(payload) => message = panic_message(payload.as_ref()),
+        }
+    }
+    Err(ShardFailure {
+        shard,
+        attempts: attempts.max(1),
+        message,
+    })
+}
+
+/// Run one shard with panic containment and bounded retry. On success
+/// after a retry, records the retry count under `faults.shard_retries`
+/// (absent from fault-free runs, so clean snapshots stay unchanged).
+fn run_shard_guarded(
+    config: &GeneratorConfig,
+    shard: usize,
+    mix: &Mix,
+) -> Result<GeneratedWorkload, ShardFailure> {
+    let (mut workload, retries) = contain_panics(shard, SHARD_ATTEMPTS, || {
+        run_shard(config, shard, mix.clone())
+    })?;
+    if retries > 0 {
+        workload
+            .metrics
+            .set_counter("faults.shard_retries", u64::from(retries));
+    }
+    Ok(workload)
+}
+
 /// Run one shard to completion and rebase its identifiers.
 fn run_shard(config: &GeneratorConfig, shard: usize, mix: Mix) -> GeneratedWorkload {
     let seed = derive_shard_seed(config.seed, shard as u64);
@@ -209,37 +297,43 @@ fn run_shard(config: &GeneratorConfig, shard: usize, mix: Mix) -> GeneratedWorkl
 /// claim shards from a shared counter, so a slow shard (the one hosting
 /// the out-of-core singleton) never blocks the others.
 pub fn generate_sharded(config: &GeneratorConfig, workers: usize) -> ShardedWorkload {
+    match try_generate_sharded(config, workers) {
+        Ok(w) => w,
+        Err(failure) => panic!("{failure}"),
+    }
+}
+
+/// [`generate_sharded`], but a shard worker that panics (even after
+/// [`SHARD_ATTEMPTS`] contained retries) surfaces as a [`ShardFailure`]
+/// instead of tearing the process down.
+pub fn try_generate_sharded(
+    config: &GeneratorConfig,
+    workers: usize,
+) -> Result<ShardedWorkload, ShardFailure> {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mix = Mix::plan(Scale(config.scale), &mut rng);
     let parts = partition_mix(&mix);
 
     let workers = workers.clamp(1, LOGICAL_SHARDS);
-    let shards: Vec<GeneratedWorkload> = if workers == 1 {
+    let results: Vec<Result<GeneratedWorkload, ShardFailure>> = if workers == 1 {
         parts
-            .into_iter()
+            .iter()
             .enumerate()
-            .map(|(i, part)| run_shard(config, i, part))
+            .map(|(i, part)| run_shard_guarded(config, i, part))
             .collect()
     } else {
-        let inputs: Vec<Mutex<Option<Mix>>> =
-            parts.into_iter().map(|p| Mutex::new(Some(p))).collect();
-        let outputs: Vec<Mutex<Option<GeneratedWorkload>>> =
-            (0..inputs.len()).map(|_| Mutex::new(None)).collect();
+        let outputs: Vec<Mutex<Option<Result<GeneratedWorkload, ShardFailure>>>> =
+            (0..parts.len()).map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= inputs.len() {
+                    if i >= parts.len() {
                         break;
                     }
-                    let part = inputs[i]
-                        .lock()
-                        .expect("shard input lock")
-                        .take()
-                        .expect("each shard is claimed once");
-                    let workload = run_shard(config, i, part);
-                    *outputs[i].lock().expect("shard output lock") = Some(workload);
+                    let result = run_shard_guarded(config, i, &parts[i]);
+                    *outputs[i].lock().expect("shard output lock") = Some(result);
                 });
             }
         });
@@ -252,17 +346,21 @@ pub fn generate_sharded(config: &GeneratorConfig, workers: usize) -> ShardedWork
             })
             .collect()
     };
+    let mut shards = Vec::with_capacity(results.len());
+    for result in results {
+        shards.push(result?);
+    }
 
     let stats = merge_stats(&shards);
     let mut metrics = MetricsSnapshot::new();
     for shard in &shards {
         metrics.merge(&shard.metrics);
     }
-    ShardedWorkload {
+    Ok(ShardedWorkload {
         shards,
         stats,
         metrics,
-    }
+    })
 }
 
 /// The end time of the merged stream (max across shards) — a convenience
@@ -415,6 +513,68 @@ mod tests {
         assert!(serial.metrics.counters["cfs.cache_hits"] > 0);
         assert!(serial.metrics.histograms["cfs.disk_service_us"].count > 0);
         assert!(serial.metrics.gauges["engine.queue_depth_high_water"] > 0);
+    }
+
+    #[test]
+    fn contained_panic_retries_then_succeeds() {
+        use std::sync::atomic::AtomicU32;
+        let calls = AtomicU32::new(0);
+        let out = contain_panics(3, 3, || {
+            if calls.fetch_add(1, Ordering::Relaxed) < 2 {
+                panic!("transient shard failure");
+            }
+            42u32
+        });
+        let (value, retries) = out.expect("third attempt succeeds");
+        assert_eq!(value, 42);
+        assert_eq!(retries, 2);
+        assert_eq!(calls.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn persistent_panic_surfaces_as_shard_failure() {
+        let err = contain_panics::<()>(7, 3, || panic!("wedged")).unwrap_err();
+        assert_eq!(err.shard, 7);
+        assert_eq!(err.attempts, 3);
+        assert!(err.message.contains("wedged"), "{}", err.message);
+        assert!(err.to_string().contains("shard 7"), "{err}");
+    }
+
+    #[test]
+    fn fault_plan_outcome_is_worker_count_invariant() {
+        use charisma_ipsc::FaultPlan;
+        let mut cfg = config(0.01);
+        cfg.faults = FaultPlan::chaos_fixture();
+        let serial = generate_sharded(&cfg, 1);
+        let four = generate_sharded(&cfg, 4);
+        assert_eq!(
+            stream_hash(&serial),
+            stream_hash(&four),
+            "chaos stream diverged across worker counts"
+        );
+        assert_eq!(serial.metrics.to_core_json(), four.metrics.to_core_json());
+        assert!(
+            serial.metrics.counters["faults.injected"] > 0,
+            "the chaos fixture injects faults at this scale"
+        );
+    }
+
+    #[test]
+    fn empty_fault_plan_changes_nothing() {
+        use charisma_ipsc::FaultPlan;
+        let clean = generate_sharded(&config(0.01), 2);
+        let mut cfg = config(0.01);
+        cfg.faults = FaultPlan::none();
+        let with_empty_plan = generate_sharded(&cfg, 2);
+        assert_eq!(stream_hash(&clean), stream_hash(&with_empty_plan));
+        assert_eq!(
+            clean.metrics.to_core_json(),
+            with_empty_plan.metrics.to_core_json()
+        );
+        assert!(
+            !clean.metrics.to_core_json().contains("faults."),
+            "clean runs register no fault metrics"
+        );
     }
 
     #[test]

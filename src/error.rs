@@ -11,6 +11,7 @@ use std::fmt;
 use charisma_cfs::CfsError;
 use charisma_trace::codec::DecodeError;
 use charisma_trace::file::TraceFileError;
+use charisma_workload::ShardFailure;
 
 /// Any error the charisma pipeline can raise.
 #[derive(Debug)]
@@ -26,6 +27,8 @@ pub enum Error {
     TraceFile(TraceFileError),
     /// A trace record could not be decoded.
     Decode(DecodeError),
+    /// A shard worker panicked and exhausted its contained-retry budget.
+    ShardFailed(ShardFailure),
 }
 
 impl fmt::Display for Error {
@@ -40,6 +43,7 @@ impl fmt::Display for Error {
             Error::Cfs(e) => write!(f, "CFS error: {e}"),
             Error::TraceFile(e) => write!(f, "{e}"),
             Error::Decode(e) => write!(f, "trace decode error: {e}"),
+            Error::ShardFailed(e) => write!(f, "{e}"),
         }
     }
 }
@@ -49,6 +53,7 @@ impl std::error::Error for Error {
         match self {
             Error::Cfs(e) => Some(e),
             Error::TraceFile(e) => Some(e),
+            Error::ShardFailed(e) => Some(e),
             Error::InvalidScale(_) | Error::InvalidShards(_) | Error::Decode(_) => None,
         }
     }
@@ -69,6 +74,12 @@ impl From<TraceFileError> for Error {
 impl From<DecodeError> for Error {
     fn from(e: DecodeError) -> Self {
         Error::Decode(e)
+    }
+}
+
+impl From<ShardFailure> for Error {
+    fn from(e: ShardFailure) -> Self {
+        Error::ShardFailed(e)
     }
 }
 

@@ -52,6 +52,15 @@
 //! * [`obs`] — the deterministic observability layer: counters, gauges,
 //!   log2 histograms, span timings, and profiling probes, surfaced as
 //!   [`PipelineOutput::metrics`].
+//!
+//! ## Fault injection
+//!
+//! `.faults(FaultPlan)` subjects a run to a deterministic chaos plan —
+//! disk transients with retry/backoff, I/O-node outages with stripe
+//! failover, message delay/drop/duplication, clock jumps — without
+//! changing a single workload decision, and with the same output for
+//! every worker count. See [`ipsc::faults`] and the README's
+//! "Fault injection & chaos testing" section.
 
 pub use charisma_cachesim as cachesim;
 pub use charisma_cfs as cfs;
@@ -77,7 +86,7 @@ pub mod prelude {
     pub use charisma_cfs::{Access, Cfs, CfsConfig, IoMode, StridedSpec};
     pub use charisma_core::report::Report;
     pub use charisma_core::{analyze, Characterization};
-    pub use charisma_ipsc::{Machine, MachineConfig, SimTime};
+    pub use charisma_ipsc::{FaultPlan, IoNodeDown, Machine, MachineConfig, RetryPolicy, SimTime};
     pub use charisma_obs::{MetricsRegistry, MetricsSnapshot, NoopProbe, Probe};
     pub use charisma_trace::{postprocess, OrderedEvent, Trace};
     pub use charisma_workload::{generate, GeneratorConfig};

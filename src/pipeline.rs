@@ -23,10 +23,10 @@ use std::time::Instant;
 
 use charisma_cfs::CfsConfig;
 use charisma_core::report::Report;
-use charisma_ipsc::MachineConfig;
+use charisma_ipsc::{FaultPlan, MachineConfig};
 use charisma_obs::{MetricsRegistry, MetricsSnapshot, Probe};
 use charisma_trace::{MergeMetrics, OrderedEvent};
-use charisma_workload::shard::generate_sharded;
+use charisma_workload::shard::try_generate_sharded;
 use charisma_workload::{GeneratorConfig, ShardedWorkload};
 
 use crate::error::Error;
@@ -42,6 +42,7 @@ pub struct Pipeline {
     shards: usize,
     machine: MachineConfig,
     cfs: CfsConfig,
+    faults: FaultPlan,
     probe: Option<Arc<dyn Probe>>,
 }
 
@@ -53,6 +54,7 @@ impl std::fmt::Debug for Pipeline {
             .field("shards", &self.shards)
             .field("machine", &self.machine)
             .field("cfs", &self.cfs)
+            .field("faults", &self.faults)
             .field("probe", &self.probe.as_ref().map(|_| "dyn Probe"))
             .finish()
     }
@@ -73,6 +75,7 @@ impl Pipeline {
             shards: 1,
             machine: MachineConfig::nas_ipsc860(),
             cfs: CfsConfig::nas(),
+            faults: FaultPlan::none(),
             probe: None,
         }
     }
@@ -119,6 +122,20 @@ impl Pipeline {
         self
     }
 
+    /// Fault-injection plan for chaos testing (default:
+    /// [`FaultPlan::none`], which attaches no fault state at all — the
+    /// run is byte-identical to one without the chaos layer).
+    ///
+    /// Fault decisions are pure hashes of the plan seed and stable event
+    /// identities, so a given plan yields the same trace for every
+    /// `shards(n)` worker count. Injected fault activity appears in
+    /// [`PipelineOutput::metrics`] under `faults.*` keys.
+    #[must_use]
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
     /// Attach a [`Probe`] that is notified as the pipeline's phase spans
     /// (`pipeline.generate`, `pipeline.analyze`) are entered and exited —
     /// the hook point for external profilers. Default: none.
@@ -145,6 +162,7 @@ impl Pipeline {
             seed: self.seed,
             machine: self.machine,
             cfs: self.cfs,
+            faults: self.faults,
         };
         let registry = match &self.probe {
             Some(p) => MetricsRegistry::with_probe(Arc::clone(p)),
@@ -153,7 +171,7 @@ impl Pipeline {
         let started = Instant::now();
         let workload = {
             let _generate = registry.span("pipeline.generate");
-            generate_sharded(&config, self.shards)
+            try_generate_sharded(&config, self.shards)?
         };
         let mut events = Vec::with_capacity(workload.event_count());
         let report = {
@@ -269,6 +287,26 @@ mod tests {
             .expect("runs");
         assert_eq!(probe.enters.load(Ordering::Relaxed), 2);
         assert_eq!(probe.exits.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn chaos_plan_injects_faults_without_breaking_the_run() {
+        use charisma_ipsc::FaultPlan;
+        let out = Pipeline::new()
+            .scale(0.01)
+            .shards(2)
+            .faults(FaultPlan::chaos_fixture())
+            .run()
+            .expect("chaos run completes");
+        assert!(out.events.len() > 1000);
+        assert!(out.metrics.counters["faults.injected"] > 0);
+        // Worker count still does not matter under chaos.
+        let serial = Pipeline::new()
+            .scale(0.01)
+            .faults(FaultPlan::chaos_fixture())
+            .run()
+            .expect("serial chaos run completes");
+        assert_eq!(out.metrics.to_core_json(), serial.metrics.to_core_json());
     }
 
     #[test]
