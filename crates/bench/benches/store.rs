@@ -1,0 +1,70 @@
+//! Benches for the columnar trace archive: encode throughput, open cost,
+//! and the payoff of zone-map pruning — a pruned time-window query versus
+//! the full scan that a store without zone maps would be forced to run.
+
+use charisma_ipsc::SimTime;
+use charisma_store::{write_archive, Archive, ArchiveMeta, OpSet, Query};
+use charisma_trace::postprocess::postprocess;
+use charisma_workload::{generate, GeneratorConfig};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_store(c: &mut Criterion) {
+    let w = generate(GeneratorConfig::test_scale(0.02));
+    let events = postprocess(&w.trace);
+    let meta = ArchiveMeta {
+        seed: 4994,
+        scale: 0.02,
+    };
+    let bytes = write_archive(&events, meta);
+    let archive = Archive::from_bytes(bytes.clone()).expect("parses");
+    let (t0, t1) = archive.time_span().expect("non-empty");
+    let span = t1.as_micros() - t0.as_micros();
+    let window = Query::all().time_window(
+        SimTime::from_micros(t0.as_micros() + span / 3),
+        SimTime::from_micros(t0.as_micros() + 2 * span / 3),
+    );
+
+    let mut g = c.benchmark_group("store");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(events.len() as u64));
+
+    g.bench_function("archive_encode", |b| {
+        b.iter(|| black_box(write_archive(black_box(&events), meta)))
+    });
+    g.bench_function("archive_open", |b| {
+        b.iter(|| black_box(Archive::from_bytes(black_box(bytes.clone())).expect("parses")))
+    });
+    g.bench_function("full_scan_serial", |b| {
+        b.iter(|| black_box(archive.query(Query::all()).events().expect("scans")))
+    });
+    g.bench_function("full_scan_4_workers", |b| {
+        b.iter(|| {
+            black_box(
+                archive
+                    .query(Query::all())
+                    .workers(4)
+                    .events()
+                    .expect("scans"),
+            )
+        })
+    });
+    g.bench_function("pruned_time_window", |b| {
+        b.iter(|| black_box(archive.query(window).workers(4).events().expect("scans")))
+    });
+    g.bench_function("request_class_report", |b| {
+        b.iter(|| {
+            black_box(
+                archive
+                    .query(Query::all().ops(OpSet::requests()))
+                    .workers(4)
+                    .report()
+                    .expect("scans"),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_store);
+criterion_main!(benches);

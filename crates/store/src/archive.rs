@@ -1,0 +1,429 @@
+//! The on-disk archive: header, segment blobs, indexed footer.
+//!
+//! ```text
+//! ┌──────────────────────────────────────────────────────────┐
+//! │ magic "CHSTOR01"  version  seed  scale-bits              │  header
+//! ├──────────────────────────────────────────────────────────┤
+//! │ segment 0 (columnar blob)                                │
+//! │ segment 1                                                │
+//! │ ...                                                      │
+//! ├──────────────────────────────────────────────────────────┤
+//! │ zone-map directory (one fixed-width entry per segment)   │  footer
+//! │ total row count                                          │
+//! ├──────────────────────────────────────────────────────────┤
+//! │ footer length (u64)   magic "CHSTOR01"                   │  tail
+//! └──────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! The tail carries the footer length so a reader can locate the
+//! directory without scanning segments, and repeats the magic so
+//! truncation is detected before any parsing.
+//!
+//! **Canonical bytes.** The writer consumes the deterministic merged
+//! stream serially, every encoding is a pure function of the record
+//! sequence, and the header carries only provenance (seed, scale) — no
+//! timestamps, hostnames, or worker counts. Same seed and scale therefore
+//! produce a byte-identical archive on any machine and any `shards(n)`,
+//! which is what lets `charisma-verify archive` pin the whole file to one
+//! fixture hash.
+
+use bytes::{Buf, BufMut};
+use charisma_ipsc::SimTime;
+use charisma_trace::OrderedEvent;
+
+use crate::metrics::StoreMetrics;
+use crate::query::{Query, Scan};
+use crate::segment::{decode_segment, SegmentBuilder, ZoneMap, SEGMENT_ROWS};
+use crate::StoreError;
+
+/// Archive file magic, doubling as the version-0 marker of the container
+/// (the header's own `version` field versions the column schema).
+pub const MAGIC: &[u8; 8] = b"CHSTOR01";
+
+/// Current column-schema version.
+pub const VERSION: u32 = 1;
+
+const HEADER_LEN: usize = 8 + 4 + 8 + 8;
+const TAIL_LEN: usize = 8 + 8;
+
+/// Provenance recorded in the archive header.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ArchiveMeta {
+    /// Generator seed the archived stream came from.
+    pub seed: u64,
+    /// Workload scale of the run.
+    pub scale: f64,
+}
+
+/// Streaming archive writer: push the merged stream, then [`finish`].
+///
+/// [`finish`]: ArchiveWriter::finish
+#[derive(Debug)]
+pub struct ArchiveWriter {
+    buf: Vec<u8>,
+    seg: SegmentBuilder,
+    zones: Vec<ZoneMap>,
+    rows: u64,
+    metrics: Option<StoreMetrics>,
+}
+
+impl ArchiveWriter {
+    /// A writer for a stream with the given provenance.
+    pub fn new(meta: ArchiveMeta) -> Self {
+        let mut buf = Vec::new();
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(VERSION);
+        buf.put_u64_le(meta.seed);
+        buf.put_u64_le(meta.scale.to_bits());
+        ArchiveWriter {
+            buf,
+            seg: SegmentBuilder::default(),
+            zones: Vec::new(),
+            rows: 0,
+            metrics: None,
+        }
+    }
+
+    /// Report writer throughput through `metrics` from now on.
+    pub fn attach_metrics(&mut self, metrics: StoreMetrics) {
+        self.metrics = Some(metrics);
+    }
+
+    /// Append one record. Records must arrive in merged stream order for
+    /// the canonical-bytes guarantee (the writer does not re-sort).
+    pub fn push(&mut self, e: &OrderedEvent) {
+        self.seg.push(e);
+        self.rows += 1;
+        if self.seg.len() >= SEGMENT_ROWS {
+            self.seal_segment();
+        }
+    }
+
+    fn seal_segment(&mut self) {
+        let seg = std::mem::take(&mut self.seg);
+        let rows = seg.len() as u64;
+        let zone = seg.finish(&mut self.buf);
+        self.zones.push(zone);
+        if let Some(m) = &self.metrics {
+            m.segments_written.inc();
+            m.rows_written.add(rows);
+        }
+    }
+
+    /// Seal the final segment, append the footer, and return the complete
+    /// canonical archive bytes.
+    pub fn finish(mut self) -> Vec<u8> {
+        if !self.seg.is_empty() {
+            self.seal_segment();
+        }
+        let footer_start = self.buf.len();
+        self.buf.put_varint_u64(self.zones.len() as u64);
+        for zone in &self.zones {
+            zone.encode(&mut self.buf);
+        }
+        self.buf.put_u64_le(self.rows);
+        let footer_len = (self.buf.len() - footer_start) as u64;
+        self.buf.put_u64_le(footer_len);
+        self.buf.put_slice(MAGIC);
+        if let Some(m) = &self.metrics {
+            m.bytes_written.add(self.buf.len() as u64);
+        }
+        self.buf
+    }
+}
+
+/// Archive every record of `events`, returning the canonical bytes.
+pub fn write_archive<'a, I>(events: I, meta: ArchiveMeta) -> Vec<u8>
+where
+    I: IntoIterator<Item = &'a OrderedEvent>,
+{
+    let mut w = ArchiveWriter::new(meta);
+    for e in events {
+        w.push(e);
+    }
+    w.finish()
+}
+
+/// An opened archive: the raw bytes plus the decoded footer index.
+///
+/// Opening parses only the header and footer; segment bytes are decoded
+/// lazily, per query, and only for segments the zone maps cannot rule out.
+#[derive(Clone, Debug)]
+pub struct Archive {
+    bytes: Vec<u8>,
+    meta: ArchiveMeta,
+    zones: Vec<ZoneMap>,
+    rows: u64,
+}
+
+impl Archive {
+    /// Parse an archive from its bytes.
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<Archive, StoreError> {
+        if bytes.len() < HEADER_LEN + TAIL_LEN {
+            return Err(StoreError::Corrupt("archive shorter than header + tail"));
+        }
+        let mut head = bytes.as_slice();
+        let mut magic = [0u8; 8];
+        head.try_copy_to_slice(&mut magic)
+            .ok_or(StoreError::Corrupt("unreadable header"))?;
+        if &magic != MAGIC {
+            return Err(StoreError::BadMagic);
+        }
+        let version = head
+            .try_get_u32_le()
+            .ok_or(StoreError::Corrupt("unreadable version"))?;
+        if version != VERSION {
+            return Err(StoreError::BadVersion(version));
+        }
+        let seed = head
+            .try_get_u64_le()
+            .ok_or(StoreError::Corrupt("unreadable seed"))?;
+        let scale_bits = head
+            .try_get_u64_le()
+            .ok_or(StoreError::Corrupt("unreadable scale"))?;
+
+        let mut tail = &bytes[bytes.len() - TAIL_LEN..];
+        let footer_len = tail
+            .try_get_u64_le()
+            .ok_or(StoreError::Corrupt("unreadable tail"))?;
+        let mut tail_magic = [0u8; 8];
+        tail.try_copy_to_slice(&mut tail_magic)
+            .ok_or(StoreError::Corrupt("unreadable tail magic"))?;
+        if &tail_magic != MAGIC {
+            return Err(StoreError::Corrupt(
+                "archive truncated (tail magic missing)",
+            ));
+        }
+        let footer_len = usize::try_from(footer_len)
+            .map_err(|_| StoreError::Corrupt("footer length overflow"))?;
+        let footer_end = bytes.len() - TAIL_LEN;
+        let footer_start = footer_end
+            .checked_sub(footer_len)
+            .filter(|&s| s >= HEADER_LEN)
+            .ok_or(StoreError::Corrupt("footer length exceeds archive"))?;
+
+        let mut footer = &bytes[footer_start..footer_end];
+        let seg_count = footer
+            .try_get_varint_u64()
+            .ok_or(StoreError::Corrupt("truncated segment count"))?;
+        let seg_count = usize::try_from(seg_count)
+            .map_err(|_| StoreError::Corrupt("segment count overflow"))?;
+        if footer.remaining() < seg_count.saturating_mul(ZoneMap::ENCODED_LEN) {
+            return Err(StoreError::Corrupt("zone-map directory truncated"));
+        }
+        let mut zones = Vec::with_capacity(seg_count);
+        for _ in 0..seg_count {
+            let zone = ZoneMap::decode(&mut footer)?;
+            let end = zone
+                .offset
+                .checked_add(zone.len)
+                .ok_or(StoreError::Corrupt("segment range overflow"))?;
+            if (zone.offset as usize) < HEADER_LEN || end as usize > footer_start {
+                return Err(StoreError::Corrupt("segment range outside archive body"));
+            }
+            zones.push(zone);
+        }
+        let rows = footer
+            .try_get_u64_le()
+            .ok_or(StoreError::Corrupt("truncated row count"))?;
+        if !footer.is_empty() {
+            return Err(StoreError::Corrupt("trailing bytes in footer"));
+        }
+        if rows != zones.iter().map(|z| u64::from(z.rows)).sum::<u64>() {
+            return Err(StoreError::Corrupt("row count disagrees with directory"));
+        }
+        Ok(Archive {
+            bytes,
+            meta: ArchiveMeta {
+                seed,
+                scale: f64::from_bits(scale_bits),
+            },
+            zones,
+            rows,
+        })
+    }
+
+    /// Read and parse an archive file.
+    pub fn open(path: impl AsRef<std::path::Path>) -> Result<Archive, StoreError> {
+        let bytes = std::fs::read(path).map_err(StoreError::Io)?;
+        Archive::from_bytes(bytes)
+    }
+
+    /// Provenance recorded at write time.
+    pub fn meta(&self) -> ArchiveMeta {
+        self.meta
+    }
+
+    /// Total records archived.
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// Number of segments.
+    pub fn segments(&self) -> usize {
+        self.zones.len()
+    }
+
+    /// Total archive size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// The archived time span `(first, last)` from the zone maps alone,
+    /// or `None` for an empty archive.
+    pub fn time_span(&self) -> Option<(SimTime, SimTime)> {
+        let min = self.zones.iter().map(|z| z.time.min).min()?;
+        let max = self.zones.iter().map(|z| z.time.max).max()?;
+        Some((SimTime::from_micros(min), SimTime::from_micros(max)))
+    }
+
+    /// Begin a query over the archive. The returned [`Scan`] is a builder:
+    /// set `.workers(n)` / `.attach_metrics(..)`, then consume it with
+    /// `.events()`, `.report()`, or `.session_index()`.
+    pub fn query(&self, query: Query) -> Scan<'_> {
+        Scan::new(self, query)
+    }
+
+    /// Decode every record (the identity query, serially).
+    pub fn events(&self) -> Result<Vec<OrderedEvent>, StoreError> {
+        self.query(Query::all()).events()
+    }
+
+    pub(crate) fn zones(&self) -> &[ZoneMap] {
+        &self.zones
+    }
+
+    /// Decode segment `idx`'s records.
+    pub(crate) fn decode_segment_at(&self, idx: usize) -> Result<Vec<OrderedEvent>, StoreError> {
+        let zone = self
+            .zones
+            .get(idx)
+            .ok_or(StoreError::Corrupt("segment index out of range"))?;
+        let start = zone.offset as usize;
+        let end = (zone.offset + zone.len) as usize;
+        let blob = self
+            .bytes
+            .get(start..end)
+            .ok_or(StoreError::Corrupt("segment range outside archive body"))?;
+        decode_segment(blob, zone.rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use charisma_trace::record::EventBody;
+
+    fn stream(n: u64) -> Vec<OrderedEvent> {
+        (0..n)
+            .map(|i| OrderedEvent {
+                time: SimTime::from_micros(i * 10),
+                node: (i % 64) as u16,
+                body: EventBody::Read {
+                    session: (i % 100) as u32,
+                    offset: i * 512,
+                    bytes: 512,
+                },
+            })
+            .collect()
+    }
+
+    const META: ArchiveMeta = ArchiveMeta {
+        seed: 4994,
+        scale: 0.05,
+    };
+
+    #[test]
+    fn archive_round_trips_across_segment_boundaries() {
+        for n in [0u64, 1, 4095, 4096, 4097, 10_000] {
+            let events = stream(n);
+            let bytes = write_archive(&events, META);
+            let archive = Archive::from_bytes(bytes).expect("parses");
+            assert_eq!(archive.rows(), n);
+            assert_eq!(
+                archive.segments(),
+                events.len().div_ceil(SEGMENT_ROWS),
+                "n = {n}"
+            );
+            assert_eq!(archive.events().expect("decodes"), events);
+            assert_eq!(archive.meta().seed, 4994);
+            assert!((archive.meta().scale - 0.05).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn archive_bytes_are_canonical() {
+        let events = stream(5000);
+        assert_eq!(write_archive(&events, META), write_archive(&events, META));
+    }
+
+    #[test]
+    fn writer_metrics_count_the_write() {
+        use charisma_obs::MetricsRegistry;
+        let registry = MetricsRegistry::new();
+        let events = stream(5000);
+        let mut w = ArchiveWriter::new(META);
+        w.attach_metrics(StoreMetrics::register(&registry));
+        for e in &events {
+            w.push(e);
+        }
+        let bytes = w.finish();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["store.segments_written"], 2);
+        assert_eq!(snap.counters["store.rows_written"], 5000);
+        assert_eq!(snap.counters["store.bytes_written"], bytes.len() as u64);
+    }
+
+    #[test]
+    fn time_span_comes_from_zone_maps() {
+        let events = stream(100);
+        let archive = Archive::from_bytes(write_archive(&events, META)).expect("parses");
+        assert_eq!(
+            archive.time_span(),
+            Some((SimTime::ZERO, SimTime::from_micros(990)))
+        );
+        let empty = Archive::from_bytes(write_archive(&[], META)).expect("parses");
+        assert_eq!(empty.time_span(), None);
+    }
+
+    #[test]
+    fn corruption_is_detected_not_panicked_on() {
+        let events = stream(100);
+        let good = write_archive(&events, META);
+        // Every truncation parses to an error or decodes to an error.
+        for cut in 0..good.len() {
+            let outcome = Archive::from_bytes(good[..cut].to_vec()).and_then(|a| a.events());
+            assert!(outcome.is_err(), "truncation at {cut} went unnoticed");
+        }
+        // Wrong magic.
+        let mut bad = good.clone();
+        bad[0] ^= 0xff;
+        assert!(matches!(
+            Archive::from_bytes(bad),
+            Err(StoreError::BadMagic)
+        ));
+        // Future version.
+        let mut bad = good.clone();
+        bad[8] = 0xee;
+        assert!(matches!(
+            Archive::from_bytes(bad),
+            Err(StoreError::BadVersion(_))
+        ));
+    }
+
+    #[test]
+    fn open_reads_files() {
+        let events = stream(100);
+        let bytes = write_archive(&events, META);
+        let dir = std::env::temp_dir().join("charisma-store-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("roundtrip.chst");
+        std::fs::write(&path, &bytes).expect("write");
+        let archive = Archive::open(&path).expect("opens");
+        assert_eq!(archive.events().expect("decodes"), events);
+        assert!(matches!(
+            Archive::open(dir.join("missing.chst")),
+            Err(StoreError::Io(_))
+        ));
+    }
+}

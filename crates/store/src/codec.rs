@@ -1,0 +1,219 @@
+//! Column encoders: the three primitive encodings every archive column
+//! uses.
+//!
+//! * [`encode_varint_column`] — one LEB128 varint per value; right for
+//!   identifier columns (node, job, file, session) whose values are small
+//!   but not ordered.
+//! * [`encode_delta_column`] — zigzag-encoded wrapping deltas between
+//!   successive values, each written as a varint; right for columns that
+//!   are sorted or locally clustered (times, offsets, sizes), where the
+//!   deltas are tiny even when the absolute values are not.
+//! * [`encode_dict_column`] — a per-segment dictionary of the distinct
+//!   byte values in first-appearance order, followed by one index byte per
+//!   row (omitted entirely when the segment is constant); right for the
+//!   op-tag, I/O-mode, and flags columns, which draw from single-digit
+//!   alphabets.
+//!
+//! Every encoding is a pure function of the value sequence — no
+//! timestamps, no randomness, no map iteration — which is what lets the
+//! archive promise canonical bytes. Every decoder is total: corrupt input
+//! yields [`StoreError`], never a panic.
+
+use bytes::{Buf, BufMut};
+
+use crate::StoreError;
+
+/// Map a signed delta onto an unsigned varint-friendly value: small
+/// magnitudes of either sign get small codes (0 → 0, -1 → 1, 1 → 2, ...).
+#[inline]
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// The inverse of [`zigzag`].
+#[inline]
+pub fn unzigzag(z: u64) -> i64 {
+    ((z >> 1) as i64) ^ -((z & 1) as i64)
+}
+
+/// Append `values` as one varint each.
+pub fn encode_varint_column(values: &[u64], out: &mut Vec<u8>) {
+    for &v in values {
+        out.put_varint_u64(v);
+    }
+}
+
+/// Decode `n` varints written by [`encode_varint_column`].
+pub fn decode_varint_column(buf: &mut &[u8], n: usize) -> Result<Vec<u64>, StoreError> {
+    let mut values = Vec::with_capacity(n);
+    for _ in 0..n {
+        values.push(
+            buf.try_get_varint_u64()
+                .ok_or(StoreError::Corrupt("truncated varint column"))?,
+        );
+    }
+    Ok(values)
+}
+
+/// Append `values` as zigzag varints of the wrapping delta from the
+/// previous value (the first delta is taken from 0).
+pub fn encode_delta_column(values: &[u64], out: &mut Vec<u8>) {
+    let mut prev = 0u64;
+    for &v in values {
+        out.put_varint_u64(zigzag(v.wrapping_sub(prev) as i64));
+        prev = v;
+    }
+}
+
+/// Decode `n` values written by [`encode_delta_column`].
+pub fn decode_delta_column(buf: &mut &[u8], n: usize) -> Result<Vec<u64>, StoreError> {
+    let mut values = Vec::with_capacity(n);
+    let mut prev = 0u64;
+    for _ in 0..n {
+        let z = buf
+            .try_get_varint_u64()
+            .ok_or(StoreError::Corrupt("truncated delta column"))?;
+        prev = prev.wrapping_add(unzigzag(z) as u64);
+        values.push(prev);
+    }
+    Ok(values)
+}
+
+/// Append `values` dictionary-encoded: distinct bytes in first-appearance
+/// order, then one dictionary index per row. A constant column (dictionary
+/// of one entry) stores no indices at all; an empty column stores only the
+/// zero dictionary length.
+pub fn encode_dict_column(values: &[u8], out: &mut Vec<u8>) {
+    let mut dict: Vec<u8> = Vec::new();
+    for &v in values {
+        if !dict.contains(&v) {
+            dict.push(v);
+        }
+    }
+    out.put_varint_u64(dict.len() as u64);
+    out.put_slice(&dict);
+    if dict.len() > 1 {
+        for &v in values {
+            // Present by construction; fall back to 0 rather than panic.
+            let idx = dict.iter().position(|&d| d == v).unwrap_or(0);
+            out.put_u8(idx as u8);
+        }
+    }
+}
+
+/// Decode `n` values written by [`encode_dict_column`].
+pub fn decode_dict_column(buf: &mut &[u8], n: usize) -> Result<Vec<u8>, StoreError> {
+    let dict_len = buf
+        .try_get_varint_u64()
+        .ok_or(StoreError::Corrupt("truncated dictionary length"))?;
+    if dict_len > 256 {
+        return Err(StoreError::Corrupt("dictionary larger than a byte index"));
+    }
+    let dict_len = dict_len as usize;
+    let mut dict = vec![0u8; dict_len];
+    buf.try_copy_to_slice(&mut dict)
+        .ok_or(StoreError::Corrupt("truncated dictionary"))?;
+    match dict_len {
+        0 if n == 0 => Ok(Vec::new()),
+        0 => Err(StoreError::Corrupt("empty dictionary for non-empty column")),
+        1 => Ok(vec![dict[0]; n]),
+        _ => {
+            let mut values = Vec::with_capacity(n);
+            for _ in 0..n {
+                let idx = buf
+                    .try_get_u8()
+                    .ok_or(StoreError::Corrupt("truncated dictionary indices"))?;
+                let v = dict
+                    .get(idx as usize)
+                    .ok_or(StoreError::Corrupt("dictionary index out of range"))?;
+                values.push(*v);
+            }
+            Ok(values)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zigzag_is_a_bijection_on_extremes() {
+        for v in [0i64, 1, -1, i64::MAX, i64::MIN, 4994, -4994] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+    }
+
+    #[test]
+    fn varint_column_round_trips() {
+        let values = [0u64, 1, 127, 128, u64::MAX, 4994];
+        let mut out = Vec::new();
+        encode_varint_column(&values, &mut out);
+        let mut buf = out.as_slice();
+        assert_eq!(
+            decode_varint_column(&mut buf, values.len()).unwrap(),
+            values
+        );
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn delta_column_round_trips_and_compresses_sorted_data() {
+        let sorted: Vec<u64> = (0..1000u64).map(|i| 1_000_000 + i * 3).collect();
+        let mut out = Vec::new();
+        encode_delta_column(&sorted, &mut out);
+        assert!(
+            out.len() < 1010,
+            "sorted u64s should take ~1 byte each, got {}",
+            out.len()
+        );
+        let mut buf = out.as_slice();
+        assert_eq!(decode_delta_column(&mut buf, sorted.len()).unwrap(), sorted);
+
+        // Wrapping deltas survive arbitrary jumps, including u64::MAX.
+        let wild = [u64::MAX, 0, u64::MAX / 2, 1, u64::MAX];
+        let mut out = Vec::new();
+        encode_delta_column(&wild, &mut out);
+        let mut buf = out.as_slice();
+        assert_eq!(decode_delta_column(&mut buf, wild.len()).unwrap(), wild);
+    }
+
+    #[test]
+    fn dict_column_round_trips_and_elides_constant_indices() {
+        let constant = vec![5u8; 100];
+        let mut out = Vec::new();
+        encode_dict_column(&constant, &mut out);
+        assert_eq!(out.len(), 2, "constant column stores only the dictionary");
+        let mut buf = out.as_slice();
+        assert_eq!(decode_dict_column(&mut buf, 100).unwrap(), constant);
+
+        let mixed = [1u8, 3, 1, 7, 3, 3, 1];
+        let mut out = Vec::new();
+        encode_dict_column(&mixed, &mut out);
+        let mut buf = out.as_slice();
+        assert_eq!(decode_dict_column(&mut buf, mixed.len()).unwrap(), mixed);
+
+        let empty: [u8; 0] = [];
+        let mut out = Vec::new();
+        encode_dict_column(&empty, &mut out);
+        let mut buf = out.as_slice();
+        assert!(decode_dict_column(&mut buf, 0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn corrupt_columns_error_instead_of_panicking() {
+        let mut buf: &[u8] = &[0x80]; // truncated varint
+        assert!(decode_varint_column(&mut buf, 1).is_err());
+        let mut buf: &[u8] = &[];
+        assert!(decode_delta_column(&mut buf, 1).is_err());
+        let mut buf: &[u8] = &[2, 9]; // dict says 2 entries, only 1 present
+        assert!(decode_dict_column(&mut buf, 1).is_err());
+        let mut buf: &[u8] = &[2, 9, 8, 5]; // index 5 out of range
+        assert!(decode_dict_column(&mut buf, 1).is_err());
+        let mut buf: &[u8] = &[0]; // empty dict but a row to decode
+        assert!(decode_dict_column(&mut buf, 1).is_err());
+    }
+}

@@ -1,0 +1,63 @@
+//! `store.*` observability: what the archive wrote and what queries
+//! touched versus skipped.
+//!
+//! All handles are plain [`Counter`]s — pure functions of the archived
+//! stream and the query, so they live in the deterministic metrics core
+//! and are pinned by the `charisma-verify metrics` fixture. The write-side
+//! counters are a function of the merged stream alone; the scan-side
+//! counters (`segments_pruned` in particular) are the query engine's proof
+//! of work: a predicate-pushdown query that prunes nothing is just an
+//! expensive filter.
+
+use charisma_obs::{Counter, MetricsRegistry};
+
+/// Metric handles for one archive writer or query scan.
+#[derive(Clone, Debug, Default)]
+pub struct StoreMetrics {
+    /// Segments encoded by the writer.
+    pub segments_written: Counter,
+    /// Rows (records) encoded by the writer.
+    pub rows_written: Counter,
+    /// Total archive bytes produced (header + segments + footer).
+    pub bytes_written: Counter,
+    /// Segments a query rejected from the zone map alone — never decoded.
+    pub segments_pruned: Counter,
+    /// Segments a query decoded and filtered row-by-row.
+    pub segments_scanned: Counter,
+    /// Rows decoded during scans.
+    pub rows_scanned: Counter,
+    /// Rows that satisfied the query predicate.
+    pub rows_matched: Counter,
+}
+
+impl StoreMetrics {
+    /// Handles registered under the `store.` prefix of `registry`.
+    pub fn register(registry: &MetricsRegistry) -> Self {
+        StoreMetrics {
+            segments_written: registry.counter("store.segments_written"),
+            rows_written: registry.counter("store.rows_written"),
+            bytes_written: registry.counter("store.bytes_written"),
+            segments_pruned: registry.counter("store.segments_pruned"),
+            segments_scanned: registry.counter("store.segments_scanned"),
+            rows_scanned: registry.counter("store.rows_scanned"),
+            rows_matched: registry.counter("store.rows_matched"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registers_under_the_store_prefix() {
+        let registry = MetricsRegistry::new();
+        let m = StoreMetrics::register(&registry);
+        m.segments_written.inc();
+        m.rows_written.add(7);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["store.segments_written"], 1);
+        assert_eq!(snap.counters["store.rows_written"], 7);
+        assert_eq!(snap.counters["store.segments_pruned"], 0);
+    }
+}

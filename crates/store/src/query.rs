@@ -1,0 +1,568 @@
+//! Predicates, zone-map pruning, and the parallel segment scan.
+//!
+//! A [`Query`] is a conjunction of optional predicates — time window,
+//! job, file, node, op class. Running one compiles the predicates twice:
+//!
+//! 1. **Segment pruning** — [`Query::admits`] asks each zone map whether
+//!    any row could match; segments that cannot are skipped without
+//!    decoding a byte (`store.segments_pruned`).
+//! 2. **Row filtering** — surviving segments are decoded and each record
+//!    tested with [`Query::matches`].
+//!
+//! Pruning is conservative by construction: `admits` may keep a segment
+//!    that holds no matching row, but it never rejects one that does (the
+//!    property suite pins `pruned scan ≡ filtered full scan`).
+//!
+//! The scan parallelizes the way the generator does: `workers` threads
+//! under [`std::thread::scope`] claim segment indices from an atomic
+//! cursor. Matches are collected per segment and reassembled in segment
+//! order, so the output — and anything computed from it — is byte-identical
+//! for every worker count. [`Scan::report`] streams the matches into the
+//! push-based [`charisma_core::Analyzer`]/`RequestSizes`, yielding the
+//! paper's full characterization for any archive subset without
+//! re-running the generator; [`Scan::session_index`] does the same for
+//! the cache simulators' indexing pass.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+use charisma_cachesim::SessionIndex;
+use charisma_core::report::Report;
+use charisma_core::requests::RequestSizes;
+use charisma_core::Analyzer;
+use charisma_ipsc::SimTime;
+use charisma_trace::record::EventBody;
+use charisma_trace::OrderedEvent;
+
+use crate::archive::Archive;
+use crate::metrics::StoreMetrics;
+use crate::segment::ZoneMap;
+use crate::StoreError;
+
+/// The record-type classes a query can select.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpClass {
+    /// Job starts.
+    JobStart,
+    /// Job ends.
+    JobEnd,
+    /// Opens.
+    Open,
+    /// Closes.
+    Close,
+    /// Read requests.
+    Read,
+    /// Write requests.
+    Write,
+    /// Deletions.
+    Delete,
+}
+
+impl OpClass {
+    fn bit(self) -> u8 {
+        // Bit `tag - 1`, matching the zone map's op bitset.
+        match self {
+            OpClass::JobStart => 1 << 0,
+            OpClass::JobEnd => 1 << 1,
+            OpClass::Open => 1 << 2,
+            OpClass::Close => 1 << 3,
+            OpClass::Read => 1 << 4,
+            OpClass::Write => 1 << 5,
+            OpClass::Delete => 1 << 6,
+        }
+    }
+}
+
+/// A set of [`OpClass`]es, stored as the zone map's bitset.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct OpSet(u8);
+
+impl OpSet {
+    /// The empty set (matches nothing; prefer no op predicate at all for
+    /// "everything").
+    pub fn empty() -> Self {
+        OpSet(0)
+    }
+
+    /// This set plus `op`.
+    #[must_use]
+    pub fn with(self, op: OpClass) -> Self {
+        OpSet(self.0 | op.bit())
+    }
+
+    /// The I/O request classes: reads and writes.
+    pub fn requests() -> Self {
+        OpSet::empty().with(OpClass::Read).with(OpClass::Write)
+    }
+
+    /// Whether `op` is in the set.
+    pub fn contains(self, op: OpClass) -> bool {
+        self.0 & op.bit() != 0
+    }
+
+    fn intersects_bits(self, bits: u8) -> bool {
+        self.0 & bits != 0
+    }
+}
+
+/// A conjunction of predicates over archived records.
+///
+/// Every predicate is optional; [`Query::all`] matches everything. The
+/// `job` and `file` predicates select records that *name* that identity —
+/// job records, opens, and deletes — which is also exactly what the zone
+/// maps index; request records tie to jobs only through their session, a
+/// join the analyzer (not the store) owns.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Query {
+    time: Option<(u64, u64)>,
+    job: Option<u32>,
+    file: Option<u32>,
+    node: Option<u16>,
+    ops: Option<OpSet>,
+}
+
+impl Query {
+    /// The match-everything query.
+    pub fn all() -> Self {
+        Query::default()
+    }
+
+    /// Restrict to records with `from <= time <= to` (inclusive).
+    #[must_use]
+    pub fn time_window(mut self, from: SimTime, to: SimTime) -> Self {
+        self.time = Some((from.as_micros(), to.as_micros()));
+        self
+    }
+
+    /// Restrict to records naming job `job`.
+    #[must_use]
+    pub fn job(mut self, job: u32) -> Self {
+        self.job = Some(job);
+        self
+    }
+
+    /// Restrict to records naming file `file`.
+    #[must_use]
+    pub fn file(mut self, file: u32) -> Self {
+        self.file = Some(file);
+        self
+    }
+
+    /// Restrict to records recorded on `node`.
+    #[must_use]
+    pub fn node(mut self, node: u16) -> Self {
+        self.node = Some(node);
+        self
+    }
+
+    /// Restrict to the record classes in `ops`.
+    #[must_use]
+    pub fn ops(mut self, ops: OpSet) -> Self {
+        self.ops = Some(ops);
+        self
+    }
+
+    /// Row-level predicate: does `e` satisfy every restriction?
+    pub fn matches(&self, e: &OrderedEvent) -> bool {
+        if let Some((from, to)) = self.time {
+            let t = e.time.as_micros();
+            if t < from || t > to {
+                return false;
+            }
+        }
+        if let Some(node) = self.node {
+            if e.node != node {
+                return false;
+            }
+        }
+        if let Some(ops) = self.ops {
+            if !ops.intersects_bits(1 << (e.body.tag() - 1)) {
+                return false;
+            }
+        }
+        if let Some(job) = self.job {
+            let named = match e.body {
+                EventBody::JobStart { job: j, .. }
+                | EventBody::JobEnd { job: j }
+                | EventBody::Open { job: j, .. }
+                | EventBody::Delete { job: j, .. } => j == job,
+                _ => false,
+            };
+            if !named {
+                return false;
+            }
+        }
+        if let Some(file) = self.file {
+            let named = match e.body {
+                EventBody::Open { file: f, .. } | EventBody::Delete { file: f, .. } => f == file,
+                _ => false,
+            };
+            if !named {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Segment-level predicate: could any row under `zone` match? Must be
+    /// conservative — `true` when unsure.
+    pub(crate) fn admits(&self, zone: &ZoneMap) -> bool {
+        if let Some((from, to)) = self.time {
+            if zone.time.max < from || zone.time.min > to {
+                return false;
+            }
+        }
+        if let Some(node) = self.node {
+            if !zone.node.contains(node) {
+                return false;
+            }
+        }
+        if let Some(ops) = self.ops {
+            if !ops.intersects_bits(zone.op_bits) {
+                return false;
+            }
+        }
+        if let Some(job) = self.job {
+            match zone.jobs {
+                Some(bounds) if bounds.contains(job) => {}
+                _ => return false,
+            }
+        }
+        if let Some(file) = self.file {
+            match zone.files {
+                Some(bounds) if bounds.contains(file) => {}
+                _ => return false,
+            }
+        }
+        true
+    }
+}
+
+/// A prepared scan: a query bound to an archive, plus execution knobs.
+#[derive(Debug)]
+pub struct Scan<'a> {
+    archive: &'a Archive,
+    query: Query,
+    workers: usize,
+    metrics: Option<StoreMetrics>,
+}
+
+impl<'a> Scan<'a> {
+    pub(crate) fn new(archive: &'a Archive, query: Query) -> Self {
+        Scan {
+            archive,
+            query,
+            workers: 1,
+            metrics: None,
+        }
+    }
+
+    /// Scan with `n` worker threads (default 1; capped at the segment
+    /// count; 0 is treated as 1). The result is identical for every `n`.
+    #[must_use]
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n.max(1);
+        self
+    }
+
+    /// Report pruning and scan throughput through `metrics`.
+    #[must_use]
+    pub fn attach_metrics(mut self, metrics: StoreMetrics) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// Per-segment matches, indexed by segment (pruned segments empty).
+    ///
+    /// The parallel core: workers claim segments from an atomic cursor,
+    /// prune on the zone map, decode and filter the survivors. Output
+    /// order is segment order regardless of claim order.
+    fn scan_segments(&self) -> Result<Vec<Vec<OrderedEvent>>, StoreError> {
+        let zones = self.archive.zones();
+        let admitted: Vec<usize> = (0..zones.len())
+            .filter(|&i| self.query.admits(&zones[i]))
+            .collect();
+        if let Some(m) = &self.metrics {
+            m.segments_pruned.add((zones.len() - admitted.len()) as u64);
+            m.segments_scanned.add(admitted.len() as u64);
+        }
+
+        let mut out: Vec<Vec<OrderedEvent>> = vec![Vec::new(); zones.len()];
+        let workers = self.workers.min(admitted.len()).max(1);
+        let cursor = AtomicUsize::new(0);
+        let results: Mutex<Vec<(usize, Vec<OrderedEvent>)>> = Mutex::new(Vec::new());
+        let first_error: Mutex<Option<(usize, StoreError)>> = Mutex::new(None);
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, Vec<OrderedEvent>)> = Vec::new();
+                    let mut rows_scanned = 0u64;
+                    let mut rows_matched = 0u64;
+                    loop {
+                        let claim = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(&seg) = admitted.get(claim) else {
+                            break;
+                        };
+                        match self.archive.decode_segment_at(seg) {
+                            Ok(events) => {
+                                rows_scanned += events.len() as u64;
+                                let matched: Vec<OrderedEvent> = events
+                                    .into_iter()
+                                    .filter(|e| self.query.matches(e))
+                                    .collect();
+                                rows_matched += matched.len() as u64;
+                                local.push((seg, matched));
+                            }
+                            Err(e) => {
+                                let mut slot = lock(&first_error);
+                                // Keep the lowest-index error: deterministic
+                                // regardless of which worker saw one first.
+                                if slot.as_ref().is_none_or(|(s, _)| seg < *s) {
+                                    *slot = Some((seg, e));
+                                }
+                            }
+                        }
+                    }
+                    if let Some(m) = &self.metrics {
+                        m.rows_scanned.add(rows_scanned);
+                        m.rows_matched.add(rows_matched);
+                    }
+                    lock(&results).append(&mut local);
+                });
+            }
+        });
+
+        if let Some((_, e)) = lock(&first_error).take() {
+            return Err(e);
+        }
+        for (seg, matched) in lock(&results).drain(..) {
+            out[seg] = matched;
+        }
+        Ok(out)
+    }
+
+    /// Every matching record, in merged stream order.
+    pub fn events(&self) -> Result<Vec<OrderedEvent>, StoreError> {
+        Ok(self.scan_segments()?.into_iter().flatten().collect())
+    }
+
+    /// The paper's full §4 characterization of the matching subset,
+    /// streamed straight into the push-based analyzer — no intermediate
+    /// event vector.
+    pub fn report(&self) -> Result<Report, StoreError> {
+        let mut analyzer = Analyzer::new();
+        let mut sizes = RequestSizes::new();
+        for segment in self.scan_segments()? {
+            for e in &segment {
+                analyzer.push(e);
+                sizes.push(e);
+            }
+        }
+        sizes.seal();
+        Ok(Report {
+            chars: analyzer.finish(),
+            request_sizes: sizes,
+        })
+    }
+
+    /// The cache simulators' session-indexing pass over the matching
+    /// subset — the prep step for re-running cache experiments from an
+    /// archive instead of a fresh generation.
+    pub fn session_index(&self) -> Result<SessionIndex, StoreError> {
+        Ok(SessionIndex::build(&self.events()?))
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    // Scan state is plain vectors guarded per push: a panicked worker
+    // cannot leave them logically inconsistent, so recover from poisoning
+    // instead of propagating it.
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::archive::{write_archive, ArchiveMeta};
+    use charisma_trace::record::AccessKind;
+
+    fn mk(us: u64, node: u16, body: EventBody) -> OrderedEvent {
+        OrderedEvent {
+            time: SimTime::from_micros(us),
+            node,
+            body,
+        }
+    }
+
+    /// A multi-segment stream: 3 jobs' worth of opens/reads/writes spread
+    /// over 10k records so segment pruning has something to prune.
+    fn stream() -> Vec<OrderedEvent> {
+        let mut events = Vec::new();
+        for i in 0..10_000u64 {
+            let job = (i / 4000) as u32;
+            let session = (i / 100) as u32;
+            match i % 4 {
+                0 => events.push(mk(
+                    i,
+                    (i % 8) as u16,
+                    EventBody::Open {
+                        job,
+                        file: session,
+                        session,
+                        mode: 0,
+                        access: AccessKind::ReadWrite,
+                        created: false,
+                    },
+                )),
+                1 | 2 => events.push(mk(
+                    i,
+                    (i % 8) as u16,
+                    EventBody::Read {
+                        session,
+                        offset: i * 512,
+                        bytes: 512,
+                    },
+                )),
+                _ => events.push(mk(
+                    i,
+                    (i % 8) as u16,
+                    EventBody::Write {
+                        session,
+                        offset: i * 512,
+                        bytes: 1024,
+                    },
+                )),
+            }
+        }
+        events
+    }
+
+    fn archive() -> Archive {
+        Archive::from_bytes(write_archive(
+            &stream(),
+            ArchiveMeta {
+                seed: 1,
+                scale: 1.0,
+            },
+        ))
+        .expect("parses")
+    }
+
+    #[test]
+    fn all_query_returns_everything_in_order() {
+        let a = archive();
+        let events = a.query(Query::all()).workers(4).events().expect("scans");
+        assert_eq!(events, stream());
+    }
+
+    #[test]
+    fn filters_agree_with_a_serial_filter() {
+        let a = archive();
+        let full = stream();
+        let queries = [
+            Query::all().time_window(SimTime::from_micros(2000), SimTime::from_micros(4500)),
+            Query::all().job(1),
+            Query::all().file(17),
+            Query::all().node(3),
+            Query::all().ops(OpSet::requests()),
+            Query::all()
+                .time_window(SimTime::from_micros(100), SimTime::from_micros(9000))
+                .node(2)
+                .ops(OpSet::empty().with(OpClass::Write)),
+        ];
+        for q in queries {
+            let got = a.query(q).workers(3).events().expect("scans");
+            let want: Vec<OrderedEvent> = full.iter().filter(|e| q.matches(e)).copied().collect();
+            assert_eq!(got, want, "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn worker_count_is_an_execution_detail() {
+        let a = archive();
+        let q = Query::all().time_window(SimTime::from_micros(1000), SimTime::from_micros(8000));
+        let serial = a.query(q).events().expect("scans");
+        for n in [2, 4, 8, 64] {
+            assert_eq!(a.query(q).workers(n).events().expect("scans"), serial);
+        }
+    }
+
+    #[test]
+    fn time_window_prunes_segments() {
+        use charisma_obs::MetricsRegistry;
+        let a = archive();
+        let registry = MetricsRegistry::new();
+        let q = Query::all().time_window(SimTime::from_micros(4200), SimTime::from_micros(4500));
+        let events = a
+            .query(q)
+            .attach_metrics(StoreMetrics::register(&registry))
+            .events()
+            .expect("scans");
+        assert_eq!(events.len(), 301);
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counters["store.segments_pruned"], 2,
+            "3 segments, 1 admitted"
+        );
+        assert_eq!(snap.counters["store.segments_scanned"], 1);
+        assert_eq!(snap.counters["store.rows_scanned"], 4096);
+        assert_eq!(snap.counters["store.rows_matched"], 301);
+    }
+
+    #[test]
+    fn job_and_file_pruning_respects_presence() {
+        let a = archive();
+        // Job 2 only appears in the last 2000 records (one tail segment).
+        let q = Query::all().job(2).ops(OpSet::empty().with(OpClass::Open));
+        let got = a.query(q).events().expect("scans");
+        assert!(!got.is_empty());
+        assert!(got
+            .iter()
+            .all(|e| matches!(e.body, EventBody::Open { job: 2, .. })));
+        // A job id no record names matches nothing.
+        assert!(a
+            .query(Query::all().job(999))
+            .events()
+            .expect("scans")
+            .is_empty());
+    }
+
+    #[test]
+    fn report_matches_from_stream_on_the_same_subset() {
+        let a = archive();
+        let q = Query::all().time_window(SimTime::from_micros(0), SimTime::from_micros(5000));
+        let got = a.query(q).workers(4).report().expect("scans");
+        let want = Report::from_stream(stream().into_iter().filter(|e| q.matches(e)));
+        assert_eq!(got.render(), want.render());
+    }
+
+    #[test]
+    fn session_index_rebuilds_from_a_scan() {
+        let a = archive();
+        let idx = a.query(Query::all()).session_index().expect("scans");
+        let want = SessionIndex::build(&stream());
+        assert_eq!(idx.len(), want.len());
+        assert_eq!(idx.get(17).copied(), want.get(17).copied());
+    }
+
+    #[test]
+    fn empty_archive_queries_cleanly() {
+        let a = Archive::from_bytes(write_archive(
+            &[],
+            ArchiveMeta {
+                seed: 1,
+                scale: 1.0,
+            },
+        ))
+        .expect("parses");
+        assert!(a
+            .query(Query::all())
+            .workers(8)
+            .events()
+            .expect("scans")
+            .is_empty());
+        let report = a.query(Query::all()).report().expect("scans");
+        assert_eq!(report.chars.jobs.len(), 0);
+    }
+}

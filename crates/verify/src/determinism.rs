@@ -60,6 +60,14 @@ fn fnv1a(hash: &mut u64, bytes: &[u8]) {
     }
 }
 
+/// FNV-1a over one byte slice — the workspace's standard fixture hash
+/// (the same function the streaming determinism harness accumulates).
+pub fn fnv1a_hash(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    fnv1a(&mut hash, bytes);
+    hash
+}
+
 fn hex(bytes: &[u8]) -> String {
     const DIGITS: &[u8; 16] = b"0123456789abcdef";
     let mut s = String::with_capacity(bytes.len() * 2);

@@ -21,10 +21,15 @@
 //!   checks, run *under the canonical fault-injection plan*, plus a
 //!   fault-metrics snapshot gate — the proof that the chaos layer is
 //!   deterministic and the recovery machinery actually engages.
+//! - [`archive`] — the trace-archive gate: the columnar archive's bytes
+//!   are canonical (worker-count invariant and pinned by a hash fixture),
+//!   the archive round-trips the merged stream exactly, and zone-map
+//!   pruning skips segments without changing any query result.
 //!
-//! The binary (`charisma-verify lint|determinism|metrics|chaos`) is the
-//! gate CI and all future perf/scaling PRs run behind.
+//! The binary (`charisma-verify lint|determinism|metrics|chaos|archive`)
+//! is the gate CI and all future perf/scaling PRs run behind.
 
+pub mod archive;
 pub mod chaos;
 pub mod determinism;
 pub mod lint;
@@ -36,12 +41,13 @@ pub mod metrics;
 /// internal consistency check live.
 pub const INVARIANTS_ENABLED: bool = cfg!(feature = "invariants");
 
+pub use archive::{archive_fixture_line, check_archive_gate, ArchiveGateReport};
 pub use chaos::{
     chaos_metrics_json, chaos_plan, check_chaos_determinism, check_chaos_shard_equivalence,
     check_fault_activity, diff_plan,
 };
 pub use determinism::{
-    check_pipeline_determinism, check_shard_equivalence, check_sharded_determinism,
+    check_pipeline_determinism, check_shard_equivalence, check_sharded_determinism, fnv1a_hash,
     DeterminismReport, Divergence,
 };
 pub use lint::{lint_workspace, Finding, LintConfig, Rule};

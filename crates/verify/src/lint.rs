@@ -5,10 +5,10 @@
 //!
 //! | rule    | scope                              | what it forbids |
 //! |---------|------------------------------------|-----------------|
-//! | `CH001` | `ipsc`, `cfs`, `cachesim`, `trace` | `HashMap`/`HashSet` — hash iteration order is nondeterministic; use `BTreeMap`/`BTreeSet` or sort explicitly |
-//! | `CH002` | `ipsc`, `cfs`, `cachesim`, `trace` | comparing simulated time as raw `f64` (`as_secs_f64()` next to a comparison) outside `crates/ipsc/src/time.rs` — compare `SimTime`/`Duration` in integer microseconds |
-//! | `CH003` | `ipsc`, `cfs`, `trace`             | `.unwrap()` / `.expect(..)` / `panic!` in non-test library code — propagate typed errors; grandfathered sites live in a budgeted allowlist that may only shrink |
-//! | `CH004` | `ipsc`, `cfs`, `cachesim`, `trace`, `workload` | wall clocks (`Instant`, `SystemTime`) and ambient entropy (`thread_rng`, `from_entropy`) — all randomness must flow from a seeded RNG |
+//! | `CH001` | `ipsc`, `cfs`, `cachesim`, `trace`, `obs`, `store` | `HashMap`/`HashSet` — hash iteration order is nondeterministic; use `BTreeMap`/`BTreeSet` or sort explicitly |
+//! | `CH002` | `ipsc`, `cfs`, `cachesim`, `trace`, `obs`, `store` | comparing simulated time as raw `f64` (`as_secs_f64()` next to a comparison) outside `crates/ipsc/src/time.rs` — compare `SimTime`/`Duration` in integer microseconds |
+//! | `CH003` | `ipsc`, `cfs`, `trace`, `obs`, `store` | `.unwrap()` / `.expect(..)` / `panic!` in non-test library code — propagate typed errors; grandfathered sites live in a budgeted allowlist that may only shrink |
+//! | `CH004` | `ipsc`, `cfs`, `cachesim`, `trace`, `workload`, `store` | wall clocks (`Instant`, `SystemTime`) and ambient entropy (`thread_rng`, `from_entropy`) — all randomness must flow from a seeded RNG |
 //!
 //! The scanner is a purpose-built lexer, not a full parser: the build
 //! environment is offline, so `syn` is unavailable. It strips comments,
@@ -102,14 +102,16 @@ pub struct FileScope {
 }
 
 /// Crates whose trace output must be hash-order free (`CH001`/`CH002`/`CH004`).
-const SIM_CRATES: &[&str] = &["ipsc", "cfs", "cachesim", "trace", "obs"];
+/// `store` is held to every rule: its canonical-bytes promise dies the
+/// moment any encoding iterates a hash map or reads a clock.
+const SIM_CRATES: &[&str] = &["ipsc", "cfs", "cachesim", "trace", "obs", "store"];
 /// Crates whose library code must not panic (`CH003`).
-const NO_PANIC_CRATES: &[&str] = &["ipsc", "cfs", "trace", "obs"];
+const NO_PANIC_CRATES: &[&str] = &["ipsc", "cfs", "trace", "obs", "store"];
 /// `CH004` additionally covers the workload generator: its randomness must
 /// be seeded too. `obs` is deliberately absent: span timings legitimately
 /// read the monotonic clock, and the snapshot quarantines them in its
 /// nondeterministic section instead.
-const SEEDED_RNG_CRATES: &[&str] = &["ipsc", "cfs", "cachesim", "trace", "workload"];
+const SEEDED_RNG_CRATES: &[&str] = &["ipsc", "cfs", "cachesim", "trace", "workload", "store"];
 
 /// Scope for a file at `rel` (workspace-relative, `/`-separated).
 pub fn scope_for(rel: &str) -> FileScope {

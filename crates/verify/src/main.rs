@@ -7,6 +7,8 @@
 //!                         [--fixture PATH] [--write]
 //! charisma-verify chaos [--seed N] [--scale F] [--shards N]
 //!                       [--fixture PATH] [--plan PATH] [--write]
+//! charisma-verify archive [--seed N] [--scale F] [--workers N]
+//!                         [--fixture PATH] [--write]
 //! ```
 //!
 //! With `--shards N`, the determinism check runs the sharded pipeline on
@@ -24,6 +26,13 @@
 //! invariant, the fault counters must show the chaos machinery engaged,
 //! and the chaos metrics core must match its own fixture.
 //!
+//! The archive check proves the columnar trace archive's three promises:
+//! canonical bytes (worker-count invariant and matching the checked-in
+//! hash fixture), exact round trip (all-pass query ≡ in-memory stream and
+//! report), and conservative pruning (a time-window query prunes segments
+//! yet returns exactly the filtered stream, serially and in parallel);
+//! `--write` regenerates the hash fixture.
+//!
 //! All subcommands exit 0 on success and 1 on violation/divergence, so the
 //! binary slots directly into CI.
 
@@ -31,10 +40,10 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use charisma_verify::{
-    chaos_metrics_json, chaos_plan, check_chaos_determinism, check_chaos_shard_equivalence,
-    check_fault_activity, check_metrics_shard_equivalence, check_pipeline_determinism,
-    check_shard_equivalence, check_sharded_determinism, core_metrics_json, diff_json, diff_plan,
-    lint_workspace, LintConfig,
+    archive_fixture_line, chaos_metrics_json, chaos_plan, check_archive_gate,
+    check_chaos_determinism, check_chaos_shard_equivalence, check_fault_activity,
+    check_metrics_shard_equivalence, check_pipeline_determinism, check_shard_equivalence,
+    check_sharded_determinism, core_metrics_json, diff_json, diff_plan, lint_workspace, LintConfig,
 };
 
 fn usage() -> ExitCode {
@@ -53,7 +62,13 @@ fn usage() -> ExitCode {
                         [--plan PATH] [--write]\n\
                         rerun the determinism and metrics gates under the\n\
                         canonical fault-injection plan; --write regenerates the\n\
-                        plan and chaos-metrics fixtures"
+                        plan and chaos-metrics fixtures\n\
+           archive      [--seed N] [--scale F] [--workers N] [--fixture PATH]\n\
+                        [--write]\n\
+                        prove the columnar trace archive is canonical (worker-\n\
+                        count invariant, hash fixture), round-trips exactly, and\n\
+                        prunes without changing results; --write regenerates\n\
+                        the hash fixture"
     );
     ExitCode::from(2)
 }
@@ -65,6 +80,7 @@ fn main() -> ExitCode {
         Some("determinism") => run_determinism(&args[1..]),
         Some("metrics") => run_metrics(&args[1..]),
         Some("chaos") => run_chaos(&args[1..]),
+        Some("archive") => run_archive(&args[1..]),
         _ => usage(),
     }
 }
@@ -420,6 +436,98 @@ fn run_chaos(args: &[String]) -> ExitCode {
     println!(
         "chaos metrics core matches the fixture ({} lines)",
         core.lines().count()
+    );
+    ExitCode::SUCCESS
+}
+
+/// Default archive-hash fixture: `crates/verify/fixtures/archive_hash.txt`.
+fn default_archive_fixture() -> PathBuf {
+    find_workspace_root().join("crates/verify/fixtures/archive_hash.txt")
+}
+
+fn run_archive(args: &[String]) -> ExitCode {
+    let (seed, scale, workers) = match (
+        parsed_flag(args, "--seed", 4994u64),
+        parsed_flag(args, "--scale", 0.05f64),
+        parsed_flag(args, "--workers", 8usize),
+    ) {
+        (Ok(seed), Ok(scale), Ok(workers)) => (seed, scale, workers),
+        (Err(e), _, _) | (_, Err(e), _) | (_, _, Err(e)) => {
+            eprintln!("charisma-verify archive: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let fixture = flag_value(args, "--fixture")
+        .map(PathBuf::from)
+        .unwrap_or_else(default_archive_fixture);
+
+    if args.iter().any(|a| a == "--write") {
+        println!("charisma-verify archive: seed={seed} scale={scale}, writing archive...");
+        let line = match archive_fixture_line(seed, scale) {
+            Ok(line) => line,
+            Err(e) => {
+                eprintln!("charisma-verify archive: pipeline error: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        if let Err(e) = std::fs::write(&fixture, &line) {
+            eprintln!(
+                "charisma-verify archive: cannot write {}: {e}",
+                fixture.display()
+            );
+            return ExitCode::from(2);
+        }
+        print!("fixture regenerated: {}\n  {line}", fixture.display());
+        return ExitCode::SUCCESS;
+    }
+
+    println!(
+        "charisma-verify archive: seed={seed} scale={scale} workers={workers}, \
+         writing and re-scanning the archive..."
+    );
+    let report = match check_archive_gate(seed, scale, workers) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("charisma-verify archive: pipeline error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if !report.complaints.is_empty() {
+        for c in &report.complaints {
+            println!("  {c}");
+        }
+        println!(
+            "archive GATE FAILED: {} complaint(s)",
+            report.complaints.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("archive bytes canonical, round trip exact, pruning conservative");
+
+    let expected = match std::fs::read_to_string(&fixture) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!(
+                "charisma-verify archive: cannot read {}: {e}\n\
+                 (regenerate with: charisma-verify archive --write)",
+                fixture.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    if expected != report.fixture_line {
+        println!(
+            "archive HASH MISMATCH:\n  fixture:  {}\n  observed: {}\n\
+             (if the format change is intended, regenerate with: \
+             charisma-verify archive --write)",
+            expected.trim_end(),
+            report.fixture_line.trim_end()
+        );
+        return ExitCode::FAILURE;
+    }
+    print!(
+        "archive hash matches the fixture:\n  {}",
+        report.fixture_line
     );
     ExitCode::SUCCESS
 }

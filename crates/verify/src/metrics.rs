@@ -52,11 +52,17 @@ impl std::fmt::Display for JsonDiff {
 /// `workers` is the thread count handed to [`Pipeline::shards`]; the
 /// workload is always partitioned into the same logical shards, so the
 /// core must not depend on it.
+///
+/// The run writes its archive to an in-memory sink so the `store.*`
+/// counters (segments/rows/bytes written, plus the zero-valued scan-side
+/// counters) are part of the pinned namespace — an encoding change that
+/// moves `store.bytes_written` fails this gate, not just the archive one.
 pub fn core_metrics_json(seed: u64, scale: f64, workers: usize) -> Result<String, charisma::Error> {
     let out = Pipeline::new()
         .seed(seed)
         .scale(scale)
         .shards(workers)
+        .archive_in_memory()
         .run()?;
     Ok(out.metrics.to_core_json())
 }

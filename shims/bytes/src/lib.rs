@@ -4,6 +4,13 @@
 //! little-endian fixed-width reads on `&[u8]` and writes on `Vec<u8>`.
 //! Semantics match upstream: reads past the end panic, so callers must check
 //! [`Buf::remaining`] first (the codec does).
+//!
+//! **Charisma extensions** (not in upstream `bytes`): the columnar store
+//! codec (`charisma-store`) needs LEB128 varints and *checked* reads that
+//! report truncation instead of panicking, so this shim additionally
+//! carries [`BufMut::put_varint_u64`] and the `try_get_*` family on
+//! [`Buf`]. Per the ROADMAP, shims are extended in place rather than
+//! pulling in registry crates.
 
 /// Read cursor over a byte source.
 pub trait Buf {
@@ -38,6 +45,68 @@ pub trait Buf {
         let mut b = [0u8; 8];
         self.copy_to_slice(&mut b);
         u64::from_le_bytes(b)
+    }
+
+    /// Checked [`Buf::copy_to_slice`]: `None` (consuming nothing) if fewer
+    /// than `dst.len()` bytes remain.
+    fn try_copy_to_slice(&mut self, dst: &mut [u8]) -> Option<()> {
+        if self.remaining() < dst.len() {
+            return None;
+        }
+        self.copy_to_slice(dst);
+        Some(())
+    }
+
+    /// Checked [`Buf::get_u8`]: `None` on an empty buffer.
+    fn try_get_u8(&mut self) -> Option<u8> {
+        let mut b = [0u8; 1];
+        self.try_copy_to_slice(&mut b)?;
+        Some(b[0])
+    }
+
+    /// Checked [`Buf::get_u16_le`].
+    fn try_get_u16_le(&mut self) -> Option<u16> {
+        let mut b = [0u8; 2];
+        self.try_copy_to_slice(&mut b)?;
+        Some(u16::from_le_bytes(b))
+    }
+
+    /// Checked [`Buf::get_u32_le`].
+    fn try_get_u32_le(&mut self) -> Option<u32> {
+        let mut b = [0u8; 4];
+        self.try_copy_to_slice(&mut b)?;
+        Some(u32::from_le_bytes(b))
+    }
+
+    /// Checked [`Buf::get_u64_le`].
+    fn try_get_u64_le(&mut self) -> Option<u64> {
+        let mut b = [0u8; 8];
+        self.try_copy_to_slice(&mut b)?;
+        Some(u64::from_le_bytes(b))
+    }
+
+    /// Decode one LEB128 varint (the inverse of
+    /// [`BufMut::put_varint_u64`]).
+    ///
+    /// `None` on truncation (the buffer ended mid-varint) or overflow (an
+    /// encoding longer than 10 bytes / spilling past 64 bits). On `None`
+    /// the cursor is left wherever the scan stopped — callers treating the
+    /// buffer as corrupt should discard it.
+    fn try_get_varint_u64(&mut self) -> Option<u64> {
+        let mut value = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.try_get_u8()?;
+            let low = u64::from(byte & 0x7f);
+            if shift >= 64 || (shift == 63 && low > 1) {
+                return None;
+            }
+            value |= low << shift;
+            if byte & 0x80 == 0 {
+                return Some(value);
+            }
+            shift += 7;
+        }
     }
 }
 
@@ -77,6 +146,21 @@ pub trait BufMut {
 
     fn put_u64_le(&mut self, v: u64) {
         self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append `v` as an LEB128 varint: seven value bits per byte, low
+    /// bits first, high bit of each byte marking continuation. At most 10
+    /// bytes; values below 128 take one.
+    fn put_varint_u64(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.put_u8(byte);
+                return;
+            }
+            self.put_u8(byte | 0x80);
+        }
     }
 }
 
@@ -125,5 +209,65 @@ mod tests {
         let data = [1u8];
         let mut buf = &data[..];
         let _ = buf.get_u32_le();
+    }
+
+    #[test]
+    fn checked_reads_report_truncation_without_consuming() {
+        let data = [7u8, 8];
+        let mut buf = &data[..];
+        assert_eq!(buf.try_get_u32_le(), None);
+        assert_eq!(buf.remaining(), 2, "failed checked read consumes nothing");
+        assert_eq!(buf.try_get_u16_le(), Some(0x0807));
+        assert_eq!(buf.try_get_u8(), None);
+        assert_eq!(buf.try_get_u64_le(), None);
+    }
+
+    #[test]
+    fn varint_round_trips_boundary_values() {
+        let values = [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        let mut out: Vec<u8> = Vec::new();
+        for &v in &values {
+            out.put_varint_u64(v);
+        }
+        let mut buf = out.as_slice();
+        for &v in &values {
+            assert_eq!(buf.try_get_varint_u64(), Some(v));
+        }
+        assert_eq!(buf.remaining(), 0);
+    }
+
+    #[test]
+    fn varint_sizes_are_minimal() {
+        for (v, len) in [(0u64, 1usize), (127, 1), (128, 2), (u64::MAX, 10)] {
+            let mut out: Vec<u8> = Vec::new();
+            out.put_varint_u64(v);
+            assert_eq!(out.len(), len, "value {v}");
+        }
+    }
+
+    #[test]
+    fn varint_rejects_truncation_and_overflow() {
+        // Truncated: continuation bit set, then the buffer ends.
+        let mut buf: &[u8] = &[0x80];
+        assert_eq!(buf.try_get_varint_u64(), None);
+        // Overflow: 11 continuation bytes spill past 64 bits.
+        let long = [0xff; 11];
+        let mut buf = &long[..];
+        assert_eq!(buf.try_get_varint_u64(), None);
+        // Overflow in the 10th byte's high bits.
+        let spill = [0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x02];
+        let mut buf = &spill[..];
+        assert_eq!(buf.try_get_varint_u64(), None);
     }
 }

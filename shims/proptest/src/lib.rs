@@ -3,7 +3,7 @@
 //! The build environment has no crates.io access, so this shim implements the
 //! subset of proptest the workspace's property tests use: the [`proptest!`]
 //! macro, `any::<T>()`, range strategies, tuple strategies, `prop_map`,
-//! `prop_oneof!`, `Just`, and `collection::vec`.
+//! `prop_oneof!`, `Just`, `collection::vec`, and `option::of`.
 //!
 //! Differences from upstream, deliberate and documented:
 //! - **No shrinking.** A failing case is not minimized; because the runner
@@ -14,6 +14,7 @@
 //! - `prop_assert*` are plain `assert*` — a failure panics immediately.
 
 pub mod collection;
+pub mod option;
 pub mod strategy;
 pub mod test_runner;
 

@@ -1,0 +1,27 @@
+//! `Option<T>` strategies (`proptest::option::of`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy for `Option<T>`; built by [`of`].
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+/// Yield `None` about a quarter of the time, otherwise `Some` of a value
+/// from `inner` — the same shape (and default weighting) as upstream
+/// proptest's `option::of`.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        if rng.next_u64().is_multiple_of(4) {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}

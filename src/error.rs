@@ -9,6 +9,7 @@
 use std::fmt;
 
 use charisma_cfs::CfsError;
+use charisma_store::StoreError;
 use charisma_trace::codec::DecodeError;
 use charisma_trace::file::TraceFileError;
 use charisma_workload::ShardFailure;
@@ -29,6 +30,8 @@ pub enum Error {
     Decode(DecodeError),
     /// A shard worker panicked and exhausted its contained-retry budget.
     ShardFailed(ShardFailure),
+    /// A columnar trace archive could not be written, opened, or scanned.
+    Store(StoreError),
 }
 
 impl fmt::Display for Error {
@@ -44,6 +47,7 @@ impl fmt::Display for Error {
             Error::TraceFile(e) => write!(f, "{e}"),
             Error::Decode(e) => write!(f, "trace decode error: {e}"),
             Error::ShardFailed(e) => write!(f, "{e}"),
+            Error::Store(e) => write!(f, "trace archive error: {e}"),
         }
     }
 }
@@ -54,6 +58,7 @@ impl std::error::Error for Error {
             Error::Cfs(e) => Some(e),
             Error::TraceFile(e) => Some(e),
             Error::ShardFailed(e) => Some(e),
+            Error::Store(e) => Some(e),
             Error::InvalidScale(_) | Error::InvalidShards(_) | Error::Decode(_) => None,
         }
     }
@@ -83,6 +88,12 @@ impl From<ShardFailure> for Error {
     }
 }
 
+impl From<StoreError> for Error {
+    fn from(e: StoreError) -> Self {
+        Error::Store(e)
+    }
+}
+
 impl From<std::io::Error> for Error {
     fn from(e: std::io::Error) -> Self {
         Error::TraceFile(TraceFileError::Io(e))
@@ -105,6 +116,15 @@ mod tests {
     fn wraps_cfs_errors_with_source() {
         let e: Error = CfsError::NotOpen { session: 7 }.into();
         assert!(matches!(e, Error::Cfs(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn wraps_store_errors_with_source() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: Error = StoreError::Io(io).into();
+        assert!(matches!(e, Error::Store(_)));
+        assert!(e.to_string().contains("trace archive"));
         assert!(std::error::Error::source(&e).is_some());
     }
 

@@ -49,6 +49,9 @@
 //! * [`core`] — the workload characterization (every §4 table and figure);
 //! * [`cachesim`] — the trace-driven cache simulations (Figures 8-9 and
 //!   the combined experiment);
+//! * [`store`] — the indexed columnar trace archive and its parallel
+//!   predicate-pushdown query engine (`.archive(path)` on the pipeline,
+//!   [`store::Archive::open`] to reopen and query);
 //! * [`obs`] — the deterministic observability layer: counters, gauges,
 //!   log2 histograms, span timings, and profiling probes, surfaced as
 //!   [`PipelineOutput::metrics`].
@@ -67,6 +70,7 @@ pub use charisma_cfs as cfs;
 pub use charisma_core as core;
 pub use charisma_ipsc as ipsc;
 pub use charisma_obs as obs;
+pub use charisma_store as store;
 pub use charisma_trace as trace;
 pub use charisma_workload as workload;
 
@@ -88,6 +92,7 @@ pub mod prelude {
     pub use charisma_core::{analyze, Characterization};
     pub use charisma_ipsc::{FaultPlan, IoNodeDown, Machine, MachineConfig, RetryPolicy, SimTime};
     pub use charisma_obs::{MetricsRegistry, MetricsSnapshot, NoopProbe, Probe};
+    pub use charisma_store::{Archive, ArchiveMeta, OpClass, OpSet, Query, StoreError};
     pub use charisma_trace::{postprocess, OrderedEvent, Trace};
     pub use charisma_workload::{generate, GeneratorConfig};
 }

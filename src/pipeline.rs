@@ -18,6 +18,7 @@
 //! # Ok::<(), charisma::Error>(())
 //! ```
 
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -25,11 +26,21 @@ use charisma_cfs::CfsConfig;
 use charisma_core::report::Report;
 use charisma_ipsc::{FaultPlan, MachineConfig};
 use charisma_obs::{MetricsRegistry, MetricsSnapshot, Probe};
+use charisma_store::{ArchiveMeta, ArchiveWriter, StoreError, StoreMetrics};
 use charisma_trace::{MergeMetrics, OrderedEvent};
 use charisma_workload::shard::try_generate_sharded;
 use charisma_workload::{GeneratorConfig, ShardedWorkload};
 
 use crate::error::Error;
+
+/// Where [`Pipeline::run`] should deliver the columnar trace archive.
+#[derive(Clone, Debug)]
+enum ArchiveSink {
+    /// Write the archive file at this path (bytes also kept in the output).
+    Path(PathBuf),
+    /// Keep the archive bytes in [`PipelineOutput::archive`] only.
+    Memory,
+}
 
 /// Builder for one end-to-end run of the reproduction.
 ///
@@ -44,6 +55,7 @@ pub struct Pipeline {
     cfs: CfsConfig,
     faults: FaultPlan,
     probe: Option<Arc<dyn Probe>>,
+    archive: Option<ArchiveSink>,
 }
 
 impl std::fmt::Debug for Pipeline {
@@ -56,6 +68,7 @@ impl std::fmt::Debug for Pipeline {
             .field("cfs", &self.cfs)
             .field("faults", &self.faults)
             .field("probe", &self.probe.as_ref().map(|_| "dyn Probe"))
+            .field("archive", &self.archive)
             .finish()
     }
 }
@@ -77,6 +90,7 @@ impl Pipeline {
             cfs: CfsConfig::nas(),
             faults: FaultPlan::none(),
             probe: None,
+            archive: None,
         }
     }
 
@@ -145,6 +159,25 @@ impl Pipeline {
         self
     }
 
+    /// Also write the merged trace as a [`charisma_store`] columnar
+    /// archive at `path`. The archive is fed from the same single merge
+    /// pass as the analysis and is byte-identical for every `shards(n)`
+    /// worker count (the `charisma-verify archive` gate pins this). The
+    /// bytes are also kept in [`PipelineOutput::archive`].
+    #[must_use]
+    pub fn archive(mut self, path: impl Into<PathBuf>) -> Self {
+        self.archive = Some(ArchiveSink::Path(path.into()));
+        self
+    }
+
+    /// Like [`Self::archive`], but keep the archive bytes only in
+    /// [`PipelineOutput::archive`] — nothing touches the filesystem.
+    #[must_use]
+    pub fn archive_in_memory(mut self) -> Self {
+        self.archive = Some(ArchiveSink::Memory);
+        self
+    }
+
     /// Run the pipeline: generate the sharded workload, rectify and merge
     /// the per-shard traces, and characterize the merged stream.
     ///
@@ -174,11 +207,34 @@ impl Pipeline {
             try_generate_sharded(&config, self.shards)?
         };
         let mut events = Vec::with_capacity(workload.event_count());
+        let mut writer = self.archive.as_ref().map(|_| {
+            let mut w = ArchiveWriter::new(ArchiveMeta {
+                seed: self.seed,
+                scale: self.scale,
+            });
+            w.attach_metrics(StoreMetrics::register(&registry));
+            w
+        });
         let report = {
             let _analyze = registry.span("pipeline.analyze");
             let mut merged = workload.merged_events();
             merged.attach_metrics(MergeMetrics::register(&registry));
-            Report::from_stream(merged.inspect(|e| events.push(*e)))
+            Report::from_stream(merged.inspect(|e| {
+                events.push(*e);
+                if let Some(w) = writer.as_mut() {
+                    w.push(e);
+                }
+            }))
+        };
+        let archive = match (writer, &self.archive) {
+            (Some(w), Some(sink)) => {
+                let bytes = w.finish();
+                if let ArchiveSink::Path(path) = sink {
+                    std::fs::write(path, &bytes).map_err(StoreError::Io)?;
+                }
+                Some(bytes)
+            }
+            _ => None,
         };
         // The deterministic core (counters/gauges/histograms) comes from
         // the simulation and the merge; the facade's own wall-clock
@@ -197,6 +253,7 @@ impl Pipeline {
             events,
             report,
             metrics,
+            archive,
         })
     }
 }
@@ -215,6 +272,12 @@ pub struct PipelineOutput {
     /// pipeline's own span timings and throughput rate (wall-clock, kept
     /// under the snapshot's `nondeterministic` section).
     pub metrics: MetricsSnapshot,
+    /// The columnar trace archive bytes, when an archive sink was
+    /// configured via [`Pipeline::archive`] or
+    /// [`Pipeline::archive_in_memory`]. Reopen with
+    /// [`charisma_store::Archive::from_bytes`] (or `Archive::open` for a
+    /// path sink) and query any subset.
+    pub archive: Option<Vec<u8>>,
 }
 
 impl PipelineOutput {
@@ -307,6 +370,58 @@ mod tests {
             .run()
             .expect("serial chaos run completes");
         assert_eq!(out.metrics.to_core_json(), serial.metrics.to_core_json());
+    }
+
+    #[test]
+    fn archive_sink_round_trips_and_surfaces_store_metrics() {
+        use charisma_store::{Archive, Query};
+
+        let out = Pipeline::new()
+            .scale(0.01)
+            .shards(2)
+            .archive_in_memory()
+            .run()
+            .expect("runs");
+        let bytes = out.archive.as_deref().expect("archive bytes present");
+        let archive = Archive::from_bytes(bytes.to_vec()).expect("parses");
+        assert_eq!(archive.rows(), out.events.len() as u64);
+        assert_eq!(archive.meta().seed, 4994);
+        let reread = archive.query(Query::all()).events().expect("scans");
+        assert_eq!(reread, out.events);
+
+        assert_eq!(
+            out.metrics.counters["store.rows_written"],
+            out.events.len() as u64
+        );
+        assert!(out.metrics.counters["store.segments_written"] > 0);
+        assert_eq!(
+            out.metrics.counters["store.bytes_written"],
+            bytes.len() as u64
+        );
+        // Scan-side counters are registered (zero) even with no query run,
+        // so the metrics fixture pins the whole store.* namespace.
+        assert_eq!(out.metrics.counters["store.segments_pruned"], 0);
+
+        // No sink → no archive, no store.* metrics.
+        let plain = Pipeline::new().scale(0.01).run().expect("runs");
+        assert!(plain.archive.is_none());
+        assert!(!plain.metrics.counters.contains_key("store.rows_written"));
+    }
+
+    #[test]
+    fn archive_bytes_are_worker_invariant() {
+        let a = Pipeline::new()
+            .scale(0.01)
+            .archive_in_memory()
+            .run()
+            .expect("runs");
+        let b = Pipeline::new()
+            .scale(0.01)
+            .shards(4)
+            .archive_in_memory()
+            .run()
+            .expect("runs");
+        assert_eq!(a.archive, b.archive);
     }
 
     #[test]
