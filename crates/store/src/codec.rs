@@ -95,8 +95,10 @@ pub fn encode_dict_column(values: &[u8], out: &mut Vec<u8>) {
     if dict.len() > 1 {
         for &v in values {
             // Present by construction; fall back to 0 rather than panic.
+            // The dictionary holds distinct u8 values, so the index always
+            // fits a byte — try_from keeps that assumption checked.
             let idx = dict.iter().position(|&d| d == v).unwrap_or(0);
-            out.put_u8(idx as u8);
+            out.put_u8(u8::try_from(idx).unwrap_or(0));
         }
     }
 }

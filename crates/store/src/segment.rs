@@ -356,7 +356,9 @@ impl SegmentBuilder {
         ZoneMap {
             offset: start,
             len: out.len() as u64 - start,
-            rows: n as u32,
+            // n <= SEGMENT_ROWS by construction; saturate rather than wrap
+            // if that invariant ever breaks, so the zone map stays sane.
+            rows: u32::try_from(n).unwrap_or(u32::MAX),
             time: self.time.unwrap_or(Bounds { min: 0, max: 0 }),
             node: self.node.unwrap_or(Bounds { min: 0, max: 0 }),
             op_bits: self.op_bits,

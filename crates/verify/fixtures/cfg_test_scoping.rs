@@ -1,0 +1,18 @@
+// Fixture: a #[cfg(test)] attribute on a semicolon-terminated item, or
+// stacked with further attributes, scopes exactly that item — the library
+// code after it stays visible to the rules.
+#[cfg(test)]
+use std::collections::HashMap;
+
+#[cfg(test)]
+#[allow(dead_code)]
+mod helpers {
+    pub fn fill() {
+        let _ = std::collections::HashMap::<u8, u8>::new();
+    }
+}
+
+pub fn lib_code() -> usize {
+    let m: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+    m.len()
+}

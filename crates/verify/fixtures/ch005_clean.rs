@@ -1,0 +1,14 @@
+// Fixture: CH005 stays quiet on checked conversions, widening casts, and
+// float casts.
+pub fn encode_index(idx: usize, out: &mut Vec<u8>) -> Result<(), ()> {
+    out.push(u8::try_from(idx).map_err(|_| ())?);
+    Ok(())
+}
+
+pub fn widen(x: u32) -> u64 {
+    x as u64
+}
+
+pub fn ratio(x: u32) -> f64 {
+    f64::from(x) / 2.0
+}

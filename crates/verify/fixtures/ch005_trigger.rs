@@ -1,0 +1,9 @@
+// Fixture: CH005 must fire on truncating narrow-integer casts in the
+// store's encode/decode paths.
+pub fn encode_index(idx: usize, out: &mut Vec<u8>) {
+    out.push(idx as u8);
+}
+
+pub fn rows_field(n: usize) -> u32 {
+    n as u32
+}

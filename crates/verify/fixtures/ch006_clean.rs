@@ -1,0 +1,6 @@
+// Fixture: CH006 stays quiet on safe, explicit encoding.
+pub static LIMIT: u64 = 4096;
+
+pub fn peek(bytes: [u8; 4]) -> u32 {
+    u32::from_le_bytes(bytes)
+}

@@ -1,0 +1,6 @@
+// Fixture: CH006 must fire on static mut, unsafe blocks, and transmute.
+pub static mut COUNTER: u64 = 0;
+
+pub fn peek(bytes: [u8; 4]) -> u32 {
+    unsafe { core::mem::transmute::<[u8; 4], u32>(bytes) }
+}

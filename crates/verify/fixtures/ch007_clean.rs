@@ -1,0 +1,21 @@
+// Fixture: the sanctioned claiming pattern — scoped threads claiming work
+// off an atomic cursor, results tagged with their index and reassembled
+// deterministically — may use its coordination Mutex.
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+pub fn scan(items: &[u64]) -> Vec<u64> {
+    let cursor = AtomicUsize::new(0);
+    let results: Mutex<Vec<(usize, u64)>> = Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        s.spawn(|| loop {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            let Some(&x) = items.get(i) else { break };
+            let mut guard = results.lock().unwrap_or_else(|e| e.into_inner());
+            guard.push((i, x * 2));
+        });
+    });
+    let mut tagged = results.into_inner().unwrap_or_else(|e| e.into_inner());
+    tagged.sort_unstable();
+    tagged.into_iter().map(|(_, x)| x).collect()
+}

@@ -1,0 +1,10 @@
+// Fixture: CH007 must fire on detached threads, RwLock, mpsc, and a
+// Mutex in a file with no thread::scope claiming pattern.
+use std::sync::{mpsc, Mutex, RwLock};
+
+pub fn run() -> i32 {
+    let cell = Mutex::new(0);
+    let handle = std::thread::spawn(move || 1 + 1);
+    drop(cell);
+    handle.join().unwrap_or(0)
+}

@@ -1,0 +1,12 @@
+// Fixture: CH008 stays quiet on exact-zero guards, integer equality, and
+// tolerance comparisons.
+pub fn rate(sum: f64, n: u64) -> f64 {
+    if sum == 0.0 {
+        return 0.0;
+    }
+    let close = (sum - 1.0).abs() < 1e-9;
+    if n == 3 && close {
+        return 1.0;
+    }
+    sum / n as f64
+}

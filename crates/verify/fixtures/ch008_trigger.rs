@@ -1,0 +1,8 @@
+// Fixture: CH008 must fire on placeholder panics and nonzero f64
+// equality comparisons.
+pub fn service_time(x: f64) -> f64 {
+    if x == 1.5 {
+        return todo!();
+    }
+    unreachable!()
+}

@@ -1,0 +1,7 @@
+// Fixture: CH009 — a suppression that stops suppressing is itself an
+// error, as is a directive naming an unknown rule code.
+use std::collections::BTreeMap; // charisma-verify: allow(CH001, nothing fires here)
+
+pub fn make() -> BTreeMap<u32, u32> {
+    BTreeMap::new() // charisma-verify: allow(CH999, bogus code)
+}

@@ -1,0 +1,118 @@
+//! The perf-trajectory record: one small JSON document per PR
+//! (`BENCH_N.json`) capturing generate and scan throughput plus archive
+//! density, emitted by `charisma-verify bench`.
+//!
+//! This is deliberately not a statistics harness — criterion-style
+//! benchmarking lives in `crates/bench`. The record exists so the CI
+//! bench-smoke job leaves a comparable breadcrumb per PR: same seed, same
+//! scale, wall-clock timed once. The *deterministic* fields (records,
+//! rows, bytes per record) double as a sanity check that the measured run
+//! matched the pinned workload; the throughput fields are machine-relative
+//! and only meaningful as a trajectory on comparable runners.
+
+use std::time::Instant;
+
+use charisma::store::{Archive, Query};
+use charisma::Pipeline;
+
+/// One perf record, rendered to `BENCH_N.json`.
+#[derive(Clone, Debug)]
+pub struct BenchRecord {
+    /// Seed the pipeline ran with.
+    pub seed: u64,
+    /// Workload scale factor.
+    pub scale: f64,
+    /// Worker threads for generation shards and scan.
+    pub workers: usize,
+    /// Trace records produced by the pipeline (deterministic).
+    pub records: u64,
+    /// Archive size in bytes (deterministic).
+    pub archive_bytes: u64,
+    /// Bytes per archived record (deterministic).
+    pub bytes_per_record: f64,
+    /// Pipeline records generated per wall-clock second.
+    pub generate_records_per_sec: f64,
+    /// Archive rows scanned per wall-clock second (all-pass query).
+    pub scan_rows_per_sec: f64,
+}
+
+impl BenchRecord {
+    /// Render as a small stable-keyed JSON document.
+    pub fn to_json(&self, pr: u64) -> String {
+        format!(
+            "{{\n  \"pr\": {pr},\n  \"seed\": {},\n  \"scale\": {},\n  \"workers\": {},\n  \
+             \"records\": {},\n  \"archive_bytes\": {},\n  \"bytes_per_record\": {:.2},\n  \
+             \"generate_records_per_sec\": {:.0},\n  \"scan_rows_per_sec\": {:.0}\n}}\n",
+            self.seed,
+            self.scale,
+            self.workers,
+            self.records,
+            self.archive_bytes,
+            self.bytes_per_record,
+            self.generate_records_per_sec,
+            self.scan_rows_per_sec,
+        )
+    }
+}
+
+/// Run the pinned pipeline once with an in-memory archive sink and time
+/// generation and a full-archive scan.
+pub fn run_bench(seed: u64, scale: f64, workers: usize) -> Result<BenchRecord, String> {
+    let gen_start = Instant::now();
+    let out = Pipeline::new()
+        .seed(seed)
+        .scale(scale)
+        .shards(workers)
+        .archive_in_memory()
+        .run()
+        .map_err(|e| format!("pipeline error: {e}"))?;
+    let gen_secs = gen_start.elapsed().as_secs_f64().max(1e-9);
+
+    let records = out.events.len() as u64;
+    let bytes = out
+        .archive
+        .ok_or_else(|| "pipeline produced no archive".to_string())?;
+    let archive_bytes = bytes.len() as u64;
+
+    let archive = Archive::from_bytes(bytes).map_err(|e| format!("archive error: {e:?}"))?;
+    let scan_start = Instant::now();
+    let events = archive
+        .query(Query::all())
+        .workers(workers)
+        .events()
+        .map_err(|e| format!("scan error: {e:?}"))?;
+    let scan_secs = scan_start.elapsed().as_secs_f64().max(1e-9);
+    let rows = events.len() as u64;
+    if rows != records {
+        return Err(format!(
+            "scan returned {rows} rows for {records} generated records"
+        ));
+    }
+
+    Ok(BenchRecord {
+        seed,
+        scale,
+        workers,
+        records,
+        archive_bytes,
+        bytes_per_record: archive_bytes as f64 / (records.max(1)) as f64,
+        generate_records_per_sec: records as f64 / gen_secs,
+        scan_rows_per_sec: rows as f64 / scan_secs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_record_round_trips_the_pinned_workload() {
+        let rec = run_bench(4994, 0.01, 2).expect("bench runs");
+        assert!(rec.records > 0);
+        assert!(rec.archive_bytes > 0);
+        assert!(rec.bytes_per_record > 0.0);
+        let json = rec.to_json(6);
+        assert!(json.contains("\"pr\": 6"));
+        assert!(json.contains("\"records\": "));
+    }
+}

@@ -1,0 +1,529 @@
+//! A token-level lexer for the static-analysis pass.
+//!
+//! The build environment is offline, so `syn` is unavailable; this module
+//! is the purpose-built middle ground between "grep with taste" and a full
+//! parser. It turns Rust source into a flat token stream — identifiers,
+//! numbers, string contents, lifetimes, and (lightly combined) punctuation
+//! — while discarding comments and harvesting
+//! `charisma-verify: allow(CHxxx)` suppression directives from them.
+//!
+//! On top of the stream, [`test_item_ranges`] resolves which tokens belong
+//! to `#[cfg(test)]`-gated items by tracking *item boundaries*: the
+//! attribute may be followed by further attributes, and the guarded item
+//! ends either at the matching close of its first brace block or at a
+//! terminating semicolon (`use`/`type`/tuple-struct items have no braces
+//! at all). This is what fixes the line-based scanner's historical
+//! mis-scoping, where the first `{` after the attribute could belong to a
+//! *different* item entirely.
+//!
+//! Every token records its 1-based line and byte position, so rules can
+//! reason about adjacency (`<<` is two byte-adjacent `<` tokens) and
+//! findings can point at exact source lines.
+
+use std::collections::BTreeMap;
+
+/// What kind of token this is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`HashMap`, `as`, `unsafe`, ...).
+    Ident,
+    /// A numeric literal, suffix included (`0`, `0.5`, `1_000u64`).
+    Num,
+    /// A string literal; `text` holds the *content* (escapes unprocessed).
+    Str,
+    /// A lifetime (`'a`); `text` includes the tick.
+    Lifetime,
+    /// Punctuation; common two-char operators (`::`, `->`, `=>`, `==`,
+    /// `!=`, `<=`, `>=`, `&&`, `||`) are combined into one token.
+    Punct,
+}
+
+/// One lexed token.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Token text (for [`TokKind::Str`], the unquoted content).
+    pub text: String,
+    /// 1-based line of the token's first byte.
+    pub line: usize,
+    /// Byte offset of the token's first byte in the source.
+    pub pos: usize,
+    /// Byte length of the token in the source (quotes/hashes included for
+    /// string literals).
+    pub len: usize,
+}
+
+impl Tok {
+    /// Is this an identifier with exactly this text?
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+
+    /// Is this punctuation with exactly this text?
+    pub fn is_punct(&self, p: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == p
+    }
+}
+
+/// The lexer's output: the token stream plus every suppression directive
+/// harvested from comments, keyed by the 1-based line the comment starts
+/// on. Directive codes are recorded verbatim (5 characters after
+/// `allow(`), so the rule engine can flag unknown codes instead of
+/// silently ignoring them.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Tokens in source order.
+    pub tokens: Vec<Tok>,
+    /// `allow(...)` directive codes per line.
+    pub allows: BTreeMap<usize, Vec<String>>,
+}
+
+fn is_ident_char(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+/// Width in bytes of the UTF-8 character starting at `b`.
+fn utf8_width(b: u8) -> usize {
+    match b {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+fn record_allow(allows: &mut BTreeMap<usize, Vec<String>>, text: &str, line: usize) {
+    let mut rest = text;
+    while let Some(pos) = rest.find("charisma-verify: allow(") {
+        let after = &rest[pos + "charisma-verify: allow(".len()..];
+        if let Some(code) = after.get(..5) {
+            allows.entry(line).or_default().push(code.to_string());
+        }
+        rest = after;
+    }
+}
+
+fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
+    if i > 0 && is_ident_char(bytes[i - 1]) {
+        return false;
+    }
+    let mut j = i + 1;
+    while j < bytes.len() && bytes[j] == b'#' {
+        j += 1;
+    }
+    j < bytes.len() && bytes[j] == b'"'
+}
+
+/// Two-character operators the lexer combines into one [`TokKind::Punct`]
+/// token. Shifts (`<<`, `>>`) are deliberately absent: `Vec<Vec<u8>>`
+/// closes with two byte-adjacent `>` tokens, and the angle-bracket matcher
+/// needs to see them separately.
+const TWO_CHAR_PUNCT: &[&str] = &["::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||"];
+
+/// Lex `source` into tokens and suppression directives.
+pub fn lex(source: &str) -> Lexed {
+    let bytes = source.as_bytes();
+    let mut out = Lexed::default();
+    let mut line = 1usize;
+    let mut i = 0usize;
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => {
+                i += 1;
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let end = source[i..].find('\n').map(|p| i + p).unwrap_or(bytes.len());
+                record_allow(&mut out.allows, &source[i..end], line);
+                i = end;
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start_line = line;
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                while j < bytes.len() && depth > 0 {
+                    if bytes[j] == b'/' && bytes.get(j + 1) == Some(&b'*') {
+                        depth += 1;
+                        j += 2;
+                    } else if bytes[j] == b'*' && bytes.get(j + 1) == Some(&b'/') {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        if bytes[j] == b'\n' {
+                            line += 1;
+                        }
+                        j += 1;
+                    }
+                }
+                let end = j.min(bytes.len());
+                record_allow(&mut out.allows, &source[i..end], start_line);
+                i = end;
+            }
+            b'"' => {
+                let start = i;
+                let start_line = line;
+                let mut j = i + 1;
+                while j < bytes.len() {
+                    match bytes[j] {
+                        b'\\' => j += 2,
+                        b'"' => {
+                            j += 1;
+                            break;
+                        }
+                        b'\n' => {
+                            line += 1;
+                            j += 1;
+                        }
+                        _ => j += 1,
+                    }
+                }
+                let end = j.min(bytes.len());
+                let content_end = end.saturating_sub(1).max(start + 1);
+                out.tokens.push(Tok {
+                    kind: TokKind::Str,
+                    text: source[start + 1..content_end].to_string(),
+                    line: start_line,
+                    pos: start,
+                    len: end - start,
+                });
+                i = end;
+            }
+            b'r' if is_raw_string_start(bytes, i) => {
+                let start = i;
+                let start_line = line;
+                let mut hashes = 0usize;
+                let mut j = i + 1;
+                while j < bytes.len() && bytes[j] == b'#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                let content_start = j + 1; // past the opening quote
+                j = content_start;
+                let mut content_end = bytes.len();
+                let mut end = bytes.len();
+                while j < bytes.len() {
+                    if bytes[j] == b'\n' {
+                        line += 1;
+                    }
+                    if bytes[j] == b'"' {
+                        let end_hashes = bytes[j + 1..]
+                            .iter()
+                            .take(hashes)
+                            .take_while(|&&b| b == b'#')
+                            .count();
+                        if end_hashes == hashes {
+                            content_end = j;
+                            end = j + 1 + hashes;
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+                out.tokens.push(Tok {
+                    kind: TokKind::Str,
+                    text: source[content_start.min(bytes.len())..content_end].to_string(),
+                    line: start_line,
+                    pos: start,
+                    len: end - start,
+                });
+                i = end;
+            }
+            b'\'' => {
+                if bytes.get(i + 1) == Some(&b'\\') {
+                    // Escaped char literal: skip to the closing quote.
+                    let mut j = i + 2;
+                    while j < bytes.len() && bytes[j] != b'\'' {
+                        j += 1;
+                    }
+                    i = (j + 1).min(bytes.len());
+                } else if let Some(&next) = bytes.get(i + 1) {
+                    let w = utf8_width(next);
+                    if bytes.get(i + 1 + w) == Some(&b'\'') {
+                        // Plain char literal like 'x' (any UTF-8 width).
+                        i += 2 + w;
+                    } else if is_ident_start(next) {
+                        // Lifetime.
+                        let start = i;
+                        let mut j = i + 1;
+                        while j < bytes.len() && is_ident_char(bytes[j]) {
+                            j += 1;
+                        }
+                        out.tokens.push(Tok {
+                            kind: TokKind::Lifetime,
+                            text: source[start..j].to_string(),
+                            line,
+                            pos: start,
+                            len: j - start,
+                        });
+                        i = j;
+                    } else {
+                        i += 1;
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+            _ if is_ident_start(c) => {
+                let start = i;
+                let mut j = i + 1;
+                while j < bytes.len() && is_ident_char(bytes[j]) {
+                    j += 1;
+                }
+                out.tokens.push(Tok {
+                    kind: TokKind::Ident,
+                    text: source[start..j].to_string(),
+                    line,
+                    pos: start,
+                    len: j - start,
+                });
+                i = j;
+            }
+            _ if c.is_ascii_digit() => {
+                let start = i;
+                let mut j = i + 1;
+                loop {
+                    match bytes.get(j) {
+                        Some(&b) if is_ident_char(b) => j += 1,
+                        Some(b'.')
+                            if bytes.get(j + 1).is_some_and(u8::is_ascii_digit)
+                                && !source[start..j].contains('.') =>
+                        {
+                            j += 2;
+                        }
+                        _ => break,
+                    }
+                }
+                out.tokens.push(Tok {
+                    kind: TokKind::Num,
+                    text: source[start..j].to_string(),
+                    line,
+                    pos: start,
+                    len: j - start,
+                });
+                i = j;
+            }
+            _ if c.is_ascii() => {
+                let two = source.get(i..i + 2);
+                let (text, len) = match two {
+                    Some(t) if TWO_CHAR_PUNCT.contains(&t) => (t.to_string(), 2),
+                    _ => ((c as char).to_string(), 1),
+                };
+                out.tokens.push(Tok {
+                    kind: TokKind::Punct,
+                    text,
+                    line,
+                    pos: i,
+                    len,
+                });
+                i += len;
+            }
+            _ => {
+                // Non-ASCII outside strings/comments: skip the character.
+                i += utf8_width(c);
+            }
+        }
+    }
+    out
+}
+
+/// Token-index ranges (half-open) of `#[cfg(test)]`-gated items.
+///
+/// Each range starts at the `#` of the attribute and ends after the item
+/// it guards: subsequent attributes are skipped by bracket matching, then
+/// the item runs to the matching close of its first brace block — or to
+/// the first top-level `;` if one arrives before any brace (a gated
+/// `use`, `type`, or unit/tuple struct).
+pub fn test_item_ranges(tokens: &[Tok]) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let mut i = 0usize;
+    while i + 6 < tokens.len() {
+        let is_cfg_test = tokens[i].is_punct("#")
+            && tokens[i + 1].is_punct("[")
+            && tokens[i + 2].is_ident("cfg")
+            && tokens[i + 3].is_punct("(")
+            && tokens[i + 4].is_ident("test")
+            && tokens[i + 5].is_punct(")")
+            && tokens[i + 6].is_punct("]");
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        let mut j = i + 7;
+        // Skip any further attributes on the same item.
+        while j + 1 < tokens.len() && tokens[j].is_punct("#") && tokens[j + 1].is_punct("[") {
+            let mut depth = 0usize;
+            let mut k = j + 1;
+            while k < tokens.len() {
+                if tokens[k].is_punct("[") {
+                    depth += 1;
+                } else if tokens[k].is_punct("]") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                k += 1;
+            }
+            j = (k + 1).min(tokens.len());
+        }
+        // The guarded item: first brace block, or first `;` before any
+        // brace (skipping over parens/brackets so `fn f(x: [u8; 2]);`
+        // terminates at the right semicolon).
+        let mut end = tokens.len();
+        let mut k = j;
+        let mut round = 0usize;
+        let mut square = 0usize;
+        while k < tokens.len() {
+            let t = &tokens[k];
+            if t.is_punct("(") {
+                round += 1;
+            } else if t.is_punct(")") {
+                round = round.saturating_sub(1);
+            } else if t.is_punct("[") {
+                square += 1;
+            } else if t.is_punct("]") {
+                square = square.saturating_sub(1);
+            } else if t.is_punct(";") && round == 0 && square == 0 {
+                end = k + 1;
+                break;
+            } else if t.is_punct("{") {
+                let mut depth = 0usize;
+                while k < tokens.len() {
+                    if tokens[k].is_punct("{") {
+                        depth += 1;
+                    } else if tokens[k].is_punct("}") {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    k += 1;
+                }
+                end = (k + 1).min(tokens.len());
+                break;
+            }
+            k += 1;
+        }
+        ranges.push((start, end));
+        i = end.max(start + 1);
+    }
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).tokens.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn idents_numbers_and_puncts() {
+        assert_eq!(
+            texts("let x: u32 = 4_994;"),
+            ["let", "x", ":", "u32", "=", "4_994", ";"]
+        );
+    }
+
+    #[test]
+    fn two_char_operators_combine_but_shifts_do_not() {
+        assert_eq!(
+            texts("a == b != c -> d"),
+            ["a", "==", "b", "!=", "c", "->", "d"]
+        );
+        assert_eq!(texts("x << 2"), ["x", "<", "<", "2"]);
+        let toks = lex("x << 2").tokens;
+        assert_eq!(toks[1].pos + 1, toks[2].pos, "shift halves are adjacent");
+    }
+
+    #[test]
+    fn floats_keep_their_dot_but_ranges_do_not() {
+        assert_eq!(texts("0.5 + 1.0f64"), ["0.5", "+", "1.0f64"]);
+        assert_eq!(texts("0..n"), ["0", ".", ".", "n"]);
+        assert_eq!(texts("t.0"), ["t", ".", "0"]);
+    }
+
+    #[test]
+    fn strings_keep_content_comments_vanish() {
+        let toks = lex("foo(\"a.b\"); // HashMap\n/* Instant */ bar").tokens;
+        let strs: Vec<&Tok> = toks.iter().filter(|t| t.kind == TokKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert_eq!(strs[0].text, "a.b");
+        assert!(toks
+            .iter()
+            .all(|t| t.text != "HashMap" && t.text != "Instant"));
+    }
+
+    #[test]
+    fn raw_strings_and_escapes() {
+        let toks = lex(r###"let s = r#"quote " inside"#; let t = "esc\"aped";"###).tokens;
+        let strs: Vec<&Tok> = toks.iter().filter(|t| t.kind == TokKind::Str).collect();
+        assert_eq!(strs[0].text, "quote \" inside");
+        assert_eq!(strs[1].text, "esc\\\"aped");
+    }
+
+    #[test]
+    fn char_literals_vanish_lifetimes_survive() {
+        assert_eq!(texts("'x' '\\n' 'é'"), Vec::<String>::new());
+        assert_eq!(
+            texts("fn f<'a>(x: &'a u8)"),
+            ["fn", "f", "<", "'a", ">", "(", "x", ":", "&", "'a", "u8", ")"]
+        );
+    }
+
+    #[test]
+    fn allows_are_harvested_per_line() {
+        let l = lex("a\nb // charisma-verify: allow(CH001, reason)\nc");
+        assert_eq!(l.allows[&2], ["CH001"]);
+        assert!(!l.allows.contains_key(&1));
+    }
+
+    #[test]
+    fn test_ranges_cover_braced_items() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n fn b() {}\n}\nfn c() {}";
+        let toks = lex(src).tokens;
+        let ranges = test_item_ranges(&toks);
+        assert_eq!(ranges.len(), 1);
+        let (s, e) = ranges[0];
+        assert!(toks[s].is_punct("#"));
+        assert!(toks[e - 1].is_punct("}"));
+        let after: Vec<&str> = toks[e..].iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(after, ["fn", "c", "(", ")", "{", "}"]);
+    }
+
+    #[test]
+    fn test_ranges_stop_at_semicolon_items() {
+        // The gated `use` ends at its semicolon; the library function that
+        // follows must remain visible to the rules.
+        let src = "#[cfg(test)]\nuse std::collections::HashMap;\nfn lib() { body }";
+        let toks = lex(src).tokens;
+        let ranges = test_item_ranges(&toks);
+        assert_eq!(ranges.len(), 1);
+        let (_, e) = ranges[0];
+        assert!(toks[e - 1].is_punct(";"));
+        assert!(toks[e..].iter().any(|t| t.is_ident("lib")));
+    }
+
+    #[test]
+    fn test_ranges_skip_interleaved_attributes() {
+        let src = "#[cfg(test)]\n#[allow(dead_code, unused)]\nmod tests { x }\nfn after() {}";
+        let toks = lex(src).tokens;
+        let ranges = test_item_ranges(&toks);
+        assert_eq!(ranges.len(), 1);
+        let (_, e) = ranges[0];
+        assert!(toks[e..].iter().any(|t| t.is_ident("after")));
+        assert!(!toks[ranges[0].0..e].iter().any(|t| t.is_ident("after")));
+    }
+}

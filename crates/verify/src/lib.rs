@@ -5,10 +5,16 @@
 //! produce *deterministic, well-formed* traces standing in for the
 //! proprietary NASA Ames data. This crate enforces that claim:
 //!
-//! - [`lint`] — a project-specific static pass over the workspace sources
-//!   (rules `CH001`–`CH004`) catching the constructs that historically break
-//!   determinism: hash-ordered iteration, raw `f64` time comparison,
-//!   panicking library paths, and ambient entropy / wall clocks.
+//! - [`lint`] — a project-specific token-level static pass over the
+//!   workspace sources (rules `CH001`–`CH010`) catching the constructs that
+//!   historically break determinism: hash-ordered iteration, raw `f64` time
+//!   comparison, panicking library paths, ambient entropy / wall clocks,
+//!   truncating casts in the codec, `unsafe`, unsanctioned concurrency,
+//!   placeholder panics and float equality, stale suppressions, and
+//!   code/fixture metric-name drift. Built on the [`lex`] tokenizer and the
+//!   [`consistency`] cross-artifact check; the walk is parallel with
+//!   deterministic, sorted findings, and `lint --json` emits them
+//!   machine-readably for CI annotation.
 //! - [`determinism`] — an end-to-end harness that runs the
 //!   workload→simulate→trace pipeline twice with the same seed and diffs a
 //!   streaming hash of the trace records, reporting the first divergent
@@ -26,12 +32,19 @@
 //!   the archive round-trips the merged stream exactly, and zone-map
 //!   pruning skips segments without changing any query result.
 //!
-//! The binary (`charisma-verify lint|determinism|metrics|chaos|archive`)
+//! - [`bench`] — the perf-trajectory record: one run of the pinned
+//!   pipeline, wall-clock timed, rendered as the `BENCH_N.json` breadcrumb
+//!   the bench-smoke CI job leaves per PR.
+//!
+//! The binary (`charisma-verify lint|determinism|metrics|chaos|archive|bench`)
 //! is the gate CI and all future perf/scaling PRs run behind.
 
 pub mod archive;
+pub mod bench;
 pub mod chaos;
+pub mod consistency;
 pub mod determinism;
+pub mod lex;
 pub mod lint;
 pub mod metrics;
 
@@ -42,13 +55,15 @@ pub mod metrics;
 pub const INVARIANTS_ENABLED: bool = cfg!(feature = "invariants");
 
 pub use archive::{archive_fixture_line, check_archive_gate, ArchiveGateReport};
+pub use bench::{run_bench, BenchRecord};
 pub use chaos::{
     chaos_metrics_json, chaos_plan, check_chaos_determinism, check_chaos_shard_equivalence,
     check_fault_activity, diff_plan,
 };
+pub use consistency::{check_metric_consistency, fixture_metric_names, MetricReg};
 pub use determinism::{
     check_pipeline_determinism, check_shard_equivalence, check_sharded_determinism, fnv1a_hash,
     DeterminismReport, Divergence,
 };
-pub use lint::{lint_workspace, Finding, LintConfig, Rule};
+pub use lint::{findings_to_json, lint_workspace, Finding, LintConfig, Rule};
 pub use metrics::{check_metrics_shard_equivalence, core_metrics_json, diff_json, JsonDiff};

@@ -9,24 +9,44 @@
 //! | `CH002` | `ipsc`, `cfs`, `cachesim`, `trace`, `obs`, `store` | comparing simulated time as raw `f64` (`as_secs_f64()` next to a comparison) outside `crates/ipsc/src/time.rs` — compare `SimTime`/`Duration` in integer microseconds |
 //! | `CH003` | `ipsc`, `cfs`, `trace`, `obs`, `store` | `.unwrap()` / `.expect(..)` / `panic!` in non-test library code — propagate typed errors; grandfathered sites live in a budgeted allowlist that may only shrink |
 //! | `CH004` | `ipsc`, `cfs`, `cachesim`, `trace`, `workload`, `store` | wall clocks (`Instant`, `SystemTime`) and ambient entropy (`thread_rng`, `from_entropy`) — all randomness must flow from a seeded RNG |
+//! | `CH005` | `store`                            | truncating `as` casts to narrow integers in encode/decode paths — a silent wraparound changes canonical archive bytes; use `try_from` and surface the error. Grandfathered sites live in `allowlist_ch005.txt`, budgeted and shrink-only like CH003 |
+//! | `CH006` | `ipsc`, `cfs`, `cachesim`, `trace`, `obs`, `store`, `workload` | `unsafe`, `static mut`, `transmute` — the simulators make no claims the borrow checker can't see |
+//! | `CH007` | `ipsc`, `cfs`, `cachesim`, `trace`, `workload`, `store` | nondeterministic concurrency primitives (`std::thread::spawn`, `Mutex`, `RwLock`, `mpsc`) outside the sanctioned `std::thread::scope` claiming pattern; `obs` is exempt (its registry is interior-mutable by design and merge order is pinned elsewhere) |
+//! | `CH008` | `ipsc`, `cfs`, `cachesim`, `trace`, `obs`, `store` | `todo!`/`unimplemented!`/`unreachable!` in library code, and `f64` equality comparisons (except against an exact-zero literal, the one bit-exact guard) |
+//! | `CH009` | any scoped file                    | stale suppressions: a `charisma-verify: allow(CHxxx)` directive on a line where that rule no longer fires — suppressions must disappear with the violation they excused |
+//! | `CH010` | all simulation + workload crates   | cross-artifact drift: a metric name registered in code but missing from the `metrics_snapshot*.json` fixtures, or pinned in a fixture but no longer registered anywhere |
 //!
-//! The scanner is a purpose-built lexer, not a full parser: the build
-//! environment is offline, so `syn` is unavailable. It strips comments,
-//! string/char literals and `#[cfg(test)]` regions with line fidelity, then
-//! matches identifier tokens — precise enough for these rules, and the
-//! fixture suite in `tests/lint_fixtures.rs` pins the exact semantics.
+//! The scanner is a purpose-built token lexer ([`crate::lex`]), not a full
+//! parser: the build environment is offline, so `syn` is unavailable. The
+//! lexer produces identifier/punct streams with line fidelity; item-scope
+//! tracking resolves `#[cfg(test)]` regions (including attribute stacks
+//! and semicolon-terminated items), and an angle-bracket matcher keeps
+//! generics like `Vec<SimTime>` from reading as comparisons. The fixture
+//! suite in `tests/lint_fixtures.rs` pins the exact semantics.
 //!
 //! Suppressions: a `// charisma-verify: allow(CHxxx, reason)` comment on the
-//! offending line disables that one rule for that line. `CH003` additionally
-//! reads a per-file budget allowlist (`crates/verify/allowlist_ch003.txt`);
-//! a budget larger than the actual count is itself an error, which is what
-//! makes the allowlist monotonically shrink.
+//! offending line disables that one rule for that line — and `CH009` flags
+//! the directive the moment it stops suppressing anything. `CH003` and
+//! `CH005` additionally read per-file budget allowlists
+//! (`crates/verify/allowlist_ch003.txt`, `allowlist_ch005.txt`); a budget
+//! larger than the actual count is itself an error, which is what makes the
+//! allowlists monotonically shrink.
+//!
+//! The workspace walk is parallel: worker threads claim files off an atomic
+//! cursor under `std::thread::scope` (the same claiming idiom the store's
+//! scan uses) and results are reassembled in path order, so findings are
+//! deterministic regardless of thread count.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
-/// The lint rules, `CH001`–`CH004`.
+use crate::consistency::{self, MetricReg};
+use crate::lex::{lex, test_item_ranges, Tok, TokKind};
+
+/// The lint rules, `CH001`–`CH010`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
     /// Hash-ordered collections in simulation crates.
@@ -37,6 +57,18 @@ pub enum Rule {
     Ch003,
     /// Wall clocks or ambient entropy in simulation crates.
     Ch004,
+    /// Truncating `as` casts to narrow integers in the store's codec paths.
+    Ch005,
+    /// `unsafe`, `static mut`, or `transmute` in simulation crates.
+    Ch006,
+    /// Unsanctioned concurrency primitives (outside `thread::scope` claiming).
+    Ch007,
+    /// Placeholder panics and `f64` equality in library code.
+    Ch008,
+    /// A suppression directive that no longer suppresses anything.
+    Ch009,
+    /// Code/fixture metric-name drift (cross-artifact consistency).
+    Ch010,
 }
 
 impl Rule {
@@ -47,15 +79,27 @@ impl Rule {
             Rule::Ch002 => "CH002",
             Rule::Ch003 => "CH003",
             Rule::Ch004 => "CH004",
+            Rule::Ch005 => "CH005",
+            Rule::Ch006 => "CH006",
+            Rule::Ch007 => "CH007",
+            Rule::Ch008 => "CH008",
+            Rule::Ch009 => "CH009",
+            Rule::Ch010 => "CH010",
         }
     }
 
-    fn parse(code: &str) -> Option<Rule> {
+    pub(crate) fn parse(code: &str) -> Option<Rule> {
         match code {
             "CH001" => Some(Rule::Ch001),
             "CH002" => Some(Rule::Ch002),
             "CH003" => Some(Rule::Ch003),
             "CH004" => Some(Rule::Ch004),
+            "CH005" => Some(Rule::Ch005),
+            "CH006" => Some(Rule::Ch006),
+            "CH007" => Some(Rule::Ch007),
+            "CH008" => Some(Rule::Ch008),
+            "CH009" => Some(Rule::Ch009),
+            "CH010" => Some(Rule::Ch010),
             _ => None,
         }
     }
@@ -92,6 +136,47 @@ impl fmt::Display for Finding {
     }
 }
 
+/// Render findings as a JSON array for machine consumers (CI annotation).
+///
+/// The schema is one object per finding: `rule`, `file`, `line`, `message`,
+/// `snippet` — keys in that fixed order, findings in the same deterministic
+/// `(rule, file, line)` order the text output uses.
+pub fn findings_to_json(findings: &[Finding]) -> String {
+    fn esc(out: &mut String, s: &str) {
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => out.push(c),
+            }
+        }
+    }
+    let mut out = String::from("[\n");
+    for (i, f) in findings.iter().enumerate() {
+        out.push_str("  {\"rule\": \"");
+        out.push_str(f.rule.code());
+        out.push_str("\", \"file\": \"");
+        esc(&mut out, &f.file);
+        out.push_str(&format!("\", \"line\": {}, \"message\": \"", f.line));
+        esc(&mut out, &f.message);
+        out.push_str("\", \"snippet\": \"");
+        esc(&mut out, &f.snippet);
+        out.push_str("\"}");
+        if i + 1 < findings.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
 /// Which rules apply to a file; derived from the owning crate.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct FileScope {
@@ -99,9 +184,32 @@ pub struct FileScope {
     pub ch002: bool,
     pub ch003: bool,
     pub ch004: bool,
+    pub ch005: bool,
+    pub ch006: bool,
+    pub ch007: bool,
+    pub ch008: bool,
+    /// Metric registrations in this file participate in the CH010
+    /// cross-artifact consistency check.
+    pub metrics: bool,
 }
 
-/// Crates whose trace output must be hash-order free (`CH001`/`CH002`/`CH004`).
+impl FileScope {
+    /// Is any token-level rule (CH001–CH008) enabled? CH009 stale-suppression
+    /// checking piggybacks on this: a file no rule watches has no live
+    /// suppressions to go stale.
+    pub fn any_rule(&self) -> bool {
+        self.ch001
+            || self.ch002
+            || self.ch003
+            || self.ch004
+            || self.ch005
+            || self.ch006
+            || self.ch007
+            || self.ch008
+    }
+}
+
+/// Crates whose trace output must be hash-order free (`CH001`/`CH002`/`CH008`).
 /// `store` is held to every rule: its canonical-bytes promise dies the
 /// moment any encoding iterates a hash map or reads a clock.
 const SIM_CRATES: &[&str] = &["ipsc", "cfs", "cachesim", "trace", "obs", "store"];
@@ -112,6 +220,21 @@ const NO_PANIC_CRATES: &[&str] = &["ipsc", "cfs", "trace", "obs", "store"];
 /// read the monotonic clock, and the snapshot quarantines them in its
 /// nondeterministic section instead.
 const SEEDED_RNG_CRATES: &[&str] = &["ipsc", "cfs", "cachesim", "trace", "workload", "store"];
+/// `CH006` (no `unsafe`) covers every crate that touches the pipeline,
+/// workload generator included.
+const NO_UNSAFE_CRATES: &[&str] = &[
+    "ipsc", "cfs", "cachesim", "trace", "obs", "store", "workload",
+];
+/// `CH007` (sanctioned concurrency only). `obs` is exempt: the metrics
+/// registry is interior-mutable (`Mutex<BTreeMap<..>>`) by design, and its
+/// determinism is proven by the snapshot merge gates, not by construction.
+const SCOPED_CONCURRENCY_CRATES: &[&str] =
+    &["ipsc", "cfs", "cachesim", "trace", "workload", "store"];
+/// Crates whose metric registrations are pinned by the snapshot fixtures
+/// (`CH010`).
+const METRIC_CRATES: &[&str] = &[
+    "ipsc", "cfs", "cachesim", "trace", "obs", "store", "workload",
+];
 
 /// Scope for a file at `rel` (workspace-relative, `/`-separated).
 pub fn scope_for(rel: &str) -> FileScope {
@@ -131,6 +254,11 @@ pub fn scope_for(rel: &str) -> FileScope {
     scope.ch002 = SIM_CRATES.contains(&krate) && rel != "crates/ipsc/src/time.rs";
     scope.ch003 = NO_PANIC_CRATES.contains(&krate);
     scope.ch004 = SEEDED_RNG_CRATES.contains(&krate);
+    scope.ch005 = krate == "store";
+    scope.ch006 = NO_UNSAFE_CRATES.contains(&krate);
+    scope.ch007 = SCOPED_CONCURRENCY_CRATES.contains(&krate);
+    scope.ch008 = SIM_CRATES.contains(&krate);
+    scope.metrics = METRIC_CRATES.contains(&krate);
     scope
 }
 
@@ -141,23 +269,39 @@ pub struct LintConfig {
     /// `CH003` allowlist path; defaults to `crates/verify/allowlist_ch003.txt`
     /// under the root.
     pub allowlist: Option<PathBuf>,
+    /// `CH005` allowlist path; defaults to `crates/verify/allowlist_ch005.txt`
+    /// under the root.
+    pub allowlist_ch005: Option<PathBuf>,
+    /// Worker-thread count for the file walk; `None` sizes from
+    /// `available_parallelism`. Findings are identical either way.
+    pub workers: Option<usize>,
 }
 
 impl LintConfig {
-    /// Configuration rooted at `root` with the default allowlist.
+    /// Configuration rooted at `root` with the default allowlists.
     pub fn new(root: impl Into<PathBuf>) -> Self {
         LintConfig {
             workspace_root: root.into(),
             allowlist: None,
+            allowlist_ch005: None,
+            workers: None,
         }
     }
 
-    fn allowlist_path(&self) -> PathBuf {
-        self.allowlist.clone().unwrap_or_else(|| {
-            self.workspace_root
-                .join("crates/verify/allowlist_ch003.txt")
-        })
+    fn allowlist_path(&self, rule: Rule) -> PathBuf {
+        let (over, default) = match rule {
+            Rule::Ch005 => (&self.allowlist_ch005, "crates/verify/allowlist_ch005.txt"),
+            _ => (&self.allowlist, "crates/verify/allowlist_ch003.txt"),
+        };
+        over.clone()
+            .unwrap_or_else(|| self.workspace_root.join(default))
     }
+}
+
+/// Recover a mutex guard even if a worker panicked while holding it; the
+/// protected data (claimed indices, collected findings) stays coherent.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// Lint every workspace crate. Returns all findings (empty = clean).
@@ -177,33 +321,130 @@ pub fn lint_workspace(cfg: &LintConfig) -> Result<Vec<Finding>, std::io::Error> 
     collect_rs_files(&crates_dir, &mut files)?;
     files.sort();
 
-    let mut findings = Vec::new();
-    let mut ch003_findings: BTreeMap<String, Vec<Finding>> = BTreeMap::new();
+    // Parallel scan: workers claim files off an atomic cursor, results are
+    // collected with their file index and reassembled in order below — the
+    // same claiming idiom as the store's segment scan, so the output is
+    // independent of scheduling.
+    let workers = cfg
+        .workers
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+        .clamp(1, 8)
+        .min(files.len().max(1));
+    let cursor = AtomicUsize::new(0);
+    type FileResult = (usize, Vec<Finding>, Vec<MetricReg>);
+    let results: Mutex<Vec<FileResult>> = Mutex::new(Vec::new());
+    let first_error: Mutex<Option<(usize, std::io::Error)>> = Mutex::new(None);
 
-    for path in &files {
-        let rel = path
-            .strip_prefix(&cfg.workspace_root)
-            .unwrap_or(path)
-            .to_string_lossy()
-            .replace('\\', "/");
-        let scope = scope_for(&rel);
-        if !(scope.ch001 || scope.ch002 || scope.ch003 || scope.ch004) {
-            continue;
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                if idx >= files.len() {
+                    break;
+                }
+                let path = &files[idx];
+                let rel = path
+                    .strip_prefix(&cfg.workspace_root)
+                    .unwrap_or(path)
+                    .to_string_lossy()
+                    .replace('\\', "/");
+                let scope = scope_for(&rel);
+                if !scope.any_rule() && !scope.metrics {
+                    continue;
+                }
+                match std::fs::read_to_string(path) {
+                    Ok(source) => {
+                        let mut found = if scope.any_rule() {
+                            scan_source(&rel, &source, scope)
+                        } else {
+                            Vec::new()
+                        };
+                        let regs = if scope.metrics {
+                            let (regs, reg_findings) =
+                                consistency::extract_metric_registrations(&rel, &source);
+                            found.extend(reg_findings);
+                            regs
+                        } else {
+                            Vec::new()
+                        };
+                        lock(&results).push((idx, found, regs));
+                    }
+                    Err(e) => {
+                        // Lowest file index wins, so the reported error does
+                        // not depend on which worker hit it first.
+                        let mut slot = lock(&first_error);
+                        if slot.as_ref().is_none_or(|(i, _)| idx < *i) {
+                            *slot = Some((idx, e));
+                        }
+                    }
+                }
+            });
         }
-        let source = std::fs::read_to_string(path)?;
-        for finding in scan_source(&rel, &source, scope) {
-            if finding.rule == Rule::Ch003 {
-                ch003_findings.entry(rel.clone()).or_default().push(finding);
+    });
+    if let Some((_, e)) = lock(&first_error).take() {
+        return Err(e);
+    }
+    let mut per_file = results.into_inner().unwrap_or_else(|e| e.into_inner());
+    per_file.sort_by_key(|(idx, _, _)| *idx);
+
+    let mut findings = Vec::new();
+    let mut budgeted: BTreeMap<Rule, BTreeMap<String, Vec<Finding>>> = BTreeMap::new();
+    let mut regs: Vec<MetricReg> = Vec::new();
+    for (_, file_findings, file_regs) in per_file {
+        for finding in file_findings {
+            if matches!(finding.rule, Rule::Ch003 | Rule::Ch005) {
+                budgeted
+                    .entry(finding.rule)
+                    .or_default()
+                    .entry(finding.file.clone())
+                    .or_default()
+                    .push(finding);
             } else {
                 findings.push(finding);
             }
         }
+        regs.extend(file_regs);
     }
 
-    // Apply the CH003 budget allowlist.
-    let budgets = load_allowlist(&cfg.allowlist_path())?;
+    // Apply the CH003 and CH005 budget allowlists.
+    for rule in [Rule::Ch003, Rule::Ch005] {
+        let grouped = budgeted.remove(&rule).unwrap_or_default();
+        apply_budget(rule, &cfg.allowlist_path(rule), &grouped, &mut findings)?;
+    }
+
+    // Cross-artifact consistency: the union of the two snapshot fixtures
+    // (plain + chaos) must cover every registered metric name, and carry
+    // nothing that is no longer registered.
+    let mut fixture_names: BTreeMap<String, (String, usize)> = BTreeMap::new();
+    for fixture_rel in [
+        "crates/verify/fixtures/metrics_snapshot.json",
+        "crates/verify/fixtures/metrics_snapshot_chaos.json",
+    ] {
+        let text = std::fs::read_to_string(cfg.workspace_root.join(fixture_rel))?;
+        for (name, line) in consistency::fixture_metric_names(&text) {
+            fixture_names
+                .entry(name)
+                .or_insert((fixture_rel.to_string(), line));
+        }
+    }
+    findings.extend(consistency::check_metric_consistency(&regs, &fixture_names));
+
+    findings.sort_by(|a, b| (a.rule, &a.file, a.line).cmp(&(b.rule, &b.file, b.line)));
+    Ok(findings)
+}
+
+/// Apply one rule's per-file budget allowlist: findings under budget are
+/// swallowed, over-budget files report every site, and an over-generous
+/// budget is itself an error so the list can only shrink.
+fn apply_budget(
+    rule: Rule,
+    path: &Path,
+    grouped: &BTreeMap<String, Vec<Finding>>,
+    findings: &mut Vec<Finding>,
+) -> Result<(), std::io::Error> {
+    let budgets = load_allowlist(path)?;
     let mut actual_counts: BTreeMap<String, usize> = BTreeMap::new();
-    for (file, file_findings) in &ch003_findings {
+    for (file, file_findings) in grouped {
         actual_counts.insert(file.clone(), file_findings.len());
         let budget = budgets.get(file.as_str()).copied().unwrap_or(0);
         if file_findings.len() > budget {
@@ -217,25 +458,22 @@ pub fn lint_workspace(cfg: &LintConfig) -> Result<Vec<Finding>, std::io::Error> 
             }));
         }
     }
-    // A stale (over-generous) budget is an error: the allowlist may only
-    // shrink, and tightening it is part of removing a panic site.
     for (file, &budget) in &budgets {
         let actual = actual_counts.get(file).copied().unwrap_or(0);
         if actual < budget {
             findings.push(Finding {
-                rule: Rule::Ch003,
+                rule,
                 file: file.clone(),
                 line: 0,
-                snippet: format!("allowlist budget {budget}, actual panic sites {actual}"),
+                snippet: format!("allowlist budget {budget}, actual sites {actual}"),
                 message: format!(
-                    "stale CH003 allowlist entry: tighten the budget for {file} to {actual}"
+                    "stale {} allowlist entry: tighten the budget for {file} to {actual}",
+                    rule.code()
                 ),
             });
         }
     }
-
-    findings.sort_by(|a, b| (a.rule, &a.file, a.line).cmp(&(b.rule, &b.file, b.line)));
-    Ok(findings)
+    Ok(())
 }
 
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), std::io::Error> {
@@ -260,7 +498,7 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), std::io::E
     Ok(())
 }
 
-/// Parse the CH003 allowlist: `path = budget` lines, `#` comments.
+/// Parse a budget allowlist: `path = budget` lines, `#` comments.
 pub fn load_allowlist(path: &Path) -> Result<BTreeMap<String, usize>, std::io::Error> {
     let mut budgets = BTreeMap::new();
     let text = match std::fs::read_to_string(path) {
@@ -283,376 +521,454 @@ pub fn load_allowlist(path: &Path) -> Result<BTreeMap<String, usize>, std::io::E
 }
 
 // ---------------------------------------------------------------------------
-// Source scanning
+// Token-level scanning
 // ---------------------------------------------------------------------------
 
-/// Artifacts of the cleaning pass.
-struct CleanSource {
-    /// Source with comments, strings and char literals blanked to spaces
-    /// (same line structure as the input).
-    code: String,
-    /// `allow(rule)` directives found in comments, per 1-based line.
-    allows: BTreeMap<usize, Vec<Rule>>,
+/// Shared per-file emit state: pushes findings, honors inline allows, and
+/// remembers which allows actually suppressed something (CH009 needs the
+/// complement).
+struct Emitter<'a> {
+    rel: &'a str,
+    lines: Vec<&'a str>,
+    allows: &'a BTreeMap<usize, Vec<String>>,
+    consumed: BTreeSet<(usize, String)>,
+    findings: Vec<Finding>,
+}
+
+impl Emitter<'_> {
+    fn push(&mut self, rule: Rule, line: usize, message: String) {
+        let code = rule.code();
+        if self
+            .allows
+            .get(&line)
+            .is_some_and(|codes| codes.iter().any(|c| c == code))
+        {
+            self.consumed.insert((line, code.to_string()));
+            return;
+        }
+        self.findings.push(Finding {
+            rule,
+            file: self.rel.to_string(),
+            line,
+            snippet: self
+                .lines
+                .get(line.wrapping_sub(1))
+                .map_or_else(String::new, |l| l.trim().to_string()),
+            message,
+        });
+    }
+}
+
+/// Mark every token index covered by a `#[cfg(test)]` item range.
+pub(crate) fn mark_test_tokens(len: usize, ranges: &[(usize, usize)]) -> Vec<bool> {
+    let mut in_test = vec![false; len];
+    for &(start, end) in ranges {
+        for flag in in_test.iter_mut().take(end.min(len)).skip(start) {
+            *flag = true;
+        }
+    }
+    in_test
+}
+
+/// Does the non-test token stream contain the adjacent ident/punct sequence
+/// `thread :: scope`? Files that use the claiming pattern are allowed their
+/// coordination `Mutex`es (CH007).
+fn has_thread_scope(toks: &[Tok], in_test: &[bool]) -> bool {
+    toks.windows(3).enumerate().any(|(i, w)| {
+        !in_test[i] && w[0].is_ident("thread") && w[1].is_punct("::") && w[2].is_ident("scope")
+    })
+}
+
+/// Narrow integer targets whose `as` casts silently truncate (CH005).
+/// `u64`/`i64`/`usize` are wide enough for every quantity the codec
+/// handles; `f64` casts are value-preserving for the 32-bit ids involved.
+const NARROW_CAST_TARGETS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// Is `t` a floating-point operand: a literal with a decimal point or an
+/// `f32`/`f64` suffix, or the type name itself (as in `x as f64 == y`)?
+fn is_float_operand(t: &Tok) -> bool {
+    match t.kind {
+        TokKind::Num => t.text.contains('.') || t.text.ends_with("f64") || t.text.ends_with("f32"),
+        TokKind::Ident => t.text == "f64" || t.text == "f32",
+        _ => false,
+    }
+}
+
+/// Is `t` an exact-zero float literal (`0.0`, `0.0f64`, ...)? Comparing
+/// against exact zero is the one legitimate bit-exact float guard (e.g. a
+/// "did anything accumulate" check), so CH008 exempts it.
+fn is_zero_float(t: &Tok) -> bool {
+    if t.kind != TokKind::Num || !t.text.contains('.') {
+        return false;
+    }
+    let digits = t
+        .text
+        .trim_end_matches("f64")
+        .trim_end_matches("f32")
+        .replace('_', "");
+    digits.chars().all(|c| c == '0' || c == '.')
+}
+
+/// Classify every `<`/`>` token as generic bracket, shift half, or
+/// comparison; return the 1-based lines holding a comparison operator
+/// (`<`, `>`, `<=`, `>=`, `==`, `!=`, or a `.partial_cmp(`/`.total_cmp(`
+/// call).
+///
+/// The matcher is a heuristic stack: `<` after an identifier or `::` opens
+/// a *candidate* generic; a later `>` pairs with it, while any token that
+/// cannot appear in a type argument list (braces, semicolons at bracket
+/// depth zero, string literals, logical/comparison operators, `.`)
+/// retroactively demotes every open candidate to a comparison. `if a < b`
+/// therefore still reads as a comparison — the `{` gives it away — while
+/// `Vec<SimTime>` pairs up and stays silent.
+fn comparison_lines(toks: &[Tok]) -> BTreeSet<usize> {
+    let mut is_cmp = vec![false; toks.len()];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut square = 0usize;
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.kind == TokKind::Str {
+            for idx in stack.drain(..) {
+                is_cmp[idx] = true;
+            }
+            i += 1;
+            continue;
+        }
+        if t.kind != TokKind::Punct {
+            i += 1;
+            continue;
+        }
+        match t.text.as_str() {
+            "<" => {
+                // Byte-adjacent pair = `<<` shift: skip both halves.
+                if toks
+                    .get(i + 1)
+                    .is_some_and(|n| n.is_punct("<") && n.pos == t.pos + 1)
+                {
+                    i += 2;
+                    continue;
+                }
+                let candidate =
+                    i > 0 && (toks[i - 1].kind == TokKind::Ident || toks[i - 1].is_punct("::"));
+                if candidate {
+                    stack.push(i);
+                } else {
+                    is_cmp[i] = true;
+                }
+            }
+            // The pop side effect in the guard is the point: a `>` that
+            // closes an open generic candidate consumes it and is silent.
+            ">" if stack.pop().is_none() => {
+                // Byte-adjacent pair = `>>` shift: skip both halves.
+                if toks
+                    .get(i + 1)
+                    .is_some_and(|n| n.is_punct(">") && n.pos == t.pos + 1)
+                {
+                    i += 2;
+                    continue;
+                }
+                is_cmp[i] = true;
+            }
+            "==" | "!=" | "<=" | ">=" => {
+                is_cmp[i] = true;
+                for idx in stack.drain(..) {
+                    is_cmp[idx] = true;
+                }
+            }
+            "[" => square += 1,
+            "]" => square = square.saturating_sub(1),
+            "{" | "}" | "&&" | "||" | "." => {
+                for idx in stack.drain(..) {
+                    is_cmp[idx] = true;
+                }
+            }
+            ";" if square == 0 => {
+                for idx in stack.drain(..) {
+                    is_cmp[idx] = true;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    // Candidates never closed are comparisons after all.
+    for idx in stack {
+        is_cmp[idx] = true;
+    }
+
+    let mut lines: BTreeSet<usize> = toks
+        .iter()
+        .zip(&is_cmp)
+        .filter(|(_, &c)| c)
+        .map(|(t, _)| t.line)
+        .collect();
+    for w in toks.windows(3) {
+        if w[0].is_punct(".")
+            && (w[1].is_ident("partial_cmp") || w[1].is_ident("total_cmp"))
+            && w[2].is_punct("(")
+        {
+            lines.insert(w[1].line);
+        }
+    }
+    lines
 }
 
 /// Scan one file's source under `scope`. Public so the fixture tests can pin
 /// rule semantics without touching the filesystem layout.
 pub fn scan_source(rel: &str, source: &str, scope: FileScope) -> Vec<Finding> {
-    let clean = clean_source(source);
-    let test_spans = test_region_spans(&clean.code);
-    let mut findings = Vec::new();
+    let lexed = lex(source);
+    let toks = &lexed.tokens;
+    let ranges = test_item_ranges(toks);
+    let in_test = mark_test_tokens(toks.len(), &ranges);
+    let mutex_sanctioned = has_thread_scope(toks, &in_test);
+    let cmp_lines = if scope.ch002 {
+        comparison_lines(toks)
+    } else {
+        BTreeSet::new()
+    };
 
-    let mut offset = 0usize;
-    for (idx, (raw_line, clean_line)) in source.lines().zip(clean.code.lines()).enumerate() {
-        let lineno = idx + 1;
-        let in_test = test_spans
-            .iter()
-            .any(|&(start, end)| offset >= start && offset < end);
-        offset += clean_line.len() + 1;
-        if in_test {
+    let mut em = Emitter {
+        rel,
+        lines: source.lines().collect(),
+        allows: &lexed.allows,
+        consumed: BTreeSet::new(),
+        findings: Vec::new(),
+    };
+    // CH001/CH004 report once per (ident, line), matching the historical
+    // line-based counts the fixtures pin.
+    let mut line_seen: BTreeSet<(&str, usize)> = BTreeSet::new();
+
+    for i in 0..toks.len() {
+        if in_test[i] {
             continue;
         }
-        let allowed = |rule: Rule| {
-            clean
-                .allows
-                .get(&lineno)
-                .is_some_and(|rules| rules.contains(&rule))
-        };
-        let mut push = |rule: Rule, message: String| {
-            if !allowed(rule) {
-                findings.push(Finding {
-                    rule,
-                    file: rel.to_string(),
-                    line: lineno,
-                    snippet: raw_line.trim().to_string(),
-                    message,
-                });
-            }
-        };
-
-        if scope.ch001 {
-            for ident in ["HashMap", "HashSet"] {
-                if has_ident(clean_line, ident) {
-                    push(
+        let t = &toks[i];
+        let prev = i.checked_sub(1).map(|p| &toks[p]);
+        let next = toks.get(i + 1);
+        match t.kind {
+            TokKind::Ident => match t.text.as_str() {
+                name @ ("HashMap" | "HashSet")
+                    if scope.ch001 && line_seen.insert((name, t.line)) =>
+                {
+                    em.push(
                         Rule::Ch001,
+                        t.line,
                         format!(
-                            "{ident} in a simulation crate: iteration order is \
+                            "{name} in a simulation crate: iteration order is \
                              nondeterministic; use BTreeMap/BTreeSet or sort explicitly"
                         ),
                     );
                 }
-            }
-        }
-        if scope.ch002 && has_ident(clean_line, "as_secs_f64") && has_comparison(clean_line) {
-            push(
-                Rule::Ch002,
-                "raw f64 time comparison: compare SimTime/Duration in integer \
-                 microseconds (as_secs_f64 is for reporting only)"
-                    .to_string(),
-            );
-        }
-        if scope.ch003 {
-            for _ in 0..count_panic_sites(clean_line) {
-                push(
-                    Rule::Ch003,
-                    "panicking call in library code: propagate a typed error".to_string(),
-                );
-            }
-        }
-        if scope.ch004 {
-            for ident in ["Instant", "SystemTime", "thread_rng", "from_entropy"] {
-                if has_ident(clean_line, ident) {
-                    push(
+                "as_secs_f64"
+                    if scope.ch002
+                        && cmp_lines.contains(&t.line)
+                        && line_seen.insert(("as_secs_f64", t.line)) =>
+                {
+                    em.push(
+                        Rule::Ch002,
+                        t.line,
+                        "raw f64 time comparison: compare SimTime/Duration in integer \
+                         microseconds (as_secs_f64 is for reporting only)"
+                            .to_string(),
+                    );
+                }
+                "unwrap"
+                    if scope.ch003
+                        && prev.is_some_and(|p| p.is_punct("."))
+                        && next.is_some_and(|n| n.is_punct("("))
+                        && toks.get(i + 2).is_some_and(|n| n.is_punct(")")) =>
+                {
+                    em.push(
+                        Rule::Ch003,
+                        t.line,
+                        "panicking call in library code: propagate a typed error".to_string(),
+                    );
+                }
+                "expect"
+                    if scope.ch003
+                        && prev.is_some_and(|p| p.is_punct("."))
+                        && next.is_some_and(|n| n.is_punct("(")) =>
+                {
+                    em.push(
+                        Rule::Ch003,
+                        t.line,
+                        "panicking call in library code: propagate a typed error".to_string(),
+                    );
+                }
+                "panic" if scope.ch003 && next.is_some_and(|n| n.is_punct("!")) => {
+                    em.push(
+                        Rule::Ch003,
+                        t.line,
+                        "panicking call in library code: propagate a typed error".to_string(),
+                    );
+                }
+                name @ ("Instant" | "SystemTime" | "thread_rng" | "from_entropy")
+                    if scope.ch004 && line_seen.insert((name, t.line)) =>
+                {
+                    em.push(
                         Rule::Ch004,
+                        t.line,
                         format!(
-                            "{ident} in a simulation crate: wall clocks and ambient \
+                            "{name} in a simulation crate: wall clocks and ambient \
                              entropy break reproducibility; use SimTime and a seeded RNG"
                         ),
                     );
                 }
-            }
-        }
-    }
-    findings
-}
-
-/// Blank out comments, strings and char literals, preserving line structure;
-/// harvest `charisma-verify: allow(CHxxx)` directives from comments.
-fn clean_source(source: &str) -> CleanSource {
-    let bytes = source.as_bytes();
-    let mut out: Vec<u8> = Vec::with_capacity(bytes.len());
-    let mut allows: BTreeMap<usize, Vec<Rule>> = BTreeMap::new();
-    let mut line = 1usize;
-    let mut i = 0usize;
-
-    fn record_allow(allows: &mut BTreeMap<usize, Vec<Rule>>, text: &str, line: usize) {
-        let mut rest = text;
-        while let Some(pos) = rest.find("charisma-verify: allow(") {
-            let after = &rest[pos + "charisma-verify: allow(".len()..];
-            if let Some(rule) = after.get(..5).and_then(Rule::parse) {
-                allows.entry(line).or_default().push(rule);
-            }
-            rest = after;
-        }
-    }
-
-    while i < bytes.len() {
-        let c = bytes[i];
-        match c {
-            b'\n' => {
-                out.push(b'\n');
-                line += 1;
-                i += 1;
-            }
-            b'/' if bytes.get(i + 1) == Some(&b'/') => {
-                // Line comment: blank to end of line.
-                let end = source[i..].find('\n').map(|p| i + p).unwrap_or(bytes.len());
-                record_allow(&mut allows, &source[i..end], line);
-                out.resize(out.len() + (end - i), b' ');
-                i = end;
-            }
-            b'/' if bytes.get(i + 1) == Some(&b'*') => {
-                // Block comment, possibly nested.
-                let start_line = line;
-                let mut depth = 1;
-                let mut j = i + 2;
-                while j < bytes.len() && depth > 0 {
-                    if bytes[j] == b'/' && bytes.get(j + 1) == Some(&b'*') {
-                        depth += 1;
-                        j += 2;
-                    } else if bytes[j] == b'*' && bytes.get(j + 1) == Some(&b'/') {
-                        depth -= 1;
-                        j += 2;
-                    } else {
-                        if bytes[j] == b'\n' {
-                            line += 1;
-                        }
-                        j += 1;
+                "as" if scope.ch005 => {
+                    if let Some(target) = next
+                        .filter(|n| n.kind == TokKind::Ident)
+                        .map(|n| n.text.as_str())
+                        .filter(|ty| NARROW_CAST_TARGETS.contains(ty))
+                    {
+                        em.push(
+                            Rule::Ch005,
+                            t.line,
+                            format!(
+                                "truncating `as {target}` cast in a canonical encode/decode \
+                                 path: silent wraparound changes archive bytes; use \
+                                 {target}::try_from and surface the error"
+                            ),
+                        );
                     }
                 }
-                record_allow(&mut allows, &source[i..j.min(bytes.len())], start_line);
-                for &b in &bytes[i..j.min(bytes.len())] {
-                    out.push(if b == b'\n' { b'\n' } else { b' ' });
+                "unsafe" if scope.ch006 => {
+                    em.push(
+                        Rule::Ch006,
+                        t.line,
+                        "unsafe block in a simulation crate: the determinism contract \
+                         only covers code the borrow checker can see"
+                            .to_string(),
+                    );
                 }
-                i = j;
-            }
-            b'"' => {
-                // String literal. Raw strings are caught by the `r` branch
-                // below before we ever see their quote.
-                out.push(b' ');
-                let mut j = i + 1;
-                while j < bytes.len() {
-                    match bytes[j] {
-                        b'\\' => {
-                            out.extend_from_slice(b"  ");
-                            j += 2;
-                        }
-                        b'"' => {
-                            out.push(b' ');
-                            j += 1;
-                            break;
-                        }
-                        b'\n' => {
-                            out.push(b'\n');
-                            line += 1;
-                            j += 1;
-                        }
-                        _ => {
-                            out.push(b' ');
-                            j += 1;
-                        }
-                    }
+                "transmute" if scope.ch006 => {
+                    em.push(
+                        Rule::Ch006,
+                        t.line,
+                        "transmute in a simulation crate: reinterpretation casts are \
+                         endianness- and layout-dependent; encode explicitly"
+                            .to_string(),
+                    );
                 }
-                i = j;
-            }
-            b'r' if is_raw_string_start(bytes, i) => {
-                let (end, newlines) = skip_raw_string(bytes, i);
-                for &b in &bytes[i..end] {
-                    out.push(if b == b'\n' { b'\n' } else { b' ' });
+                "static" if scope.ch006 && next.is_some_and(|n| n.is_ident("mut")) => {
+                    em.push(
+                        Rule::Ch006,
+                        t.line,
+                        "static mut in a simulation crate: global mutable state breaks \
+                         run isolation and worker-count invariance"
+                            .to_string(),
+                    );
                 }
-                line += newlines;
-                i = end;
-            }
-            b'\'' => {
-                if bytes.get(i + 1) == Some(&b'\\') {
-                    // Escaped char literal: blank to the closing quote.
-                    let mut j = i + 2;
-                    while j < bytes.len() && bytes[j] != b'\'' {
-                        j += 1;
-                    }
-                    let end = (j + 1).min(bytes.len());
-                    out.resize(out.len() + (end - i), b' ');
-                    i = end;
-                } else if bytes.get(i + 2) == Some(&b'\'') {
-                    // Plain char literal like 'x'.
-                    out.extend_from_slice(b"   ");
-                    i += 3;
-                } else {
-                    // Lifetime tick: keep and continue.
-                    out.push(b'\'');
-                    i += 1;
+                "thread"
+                    if scope.ch007
+                        && next.is_some_and(|n| n.is_punct("::"))
+                        && toks.get(i + 2).is_some_and(|n| n.is_ident("spawn")) =>
+                {
+                    em.push(
+                        Rule::Ch007,
+                        t.line,
+                        "thread::spawn in a simulation crate: detached threads have no \
+                         deterministic join point; use the std::thread::scope claiming \
+                         pattern"
+                            .to_string(),
+                    );
                 }
-            }
-            _ => {
-                out.push(c);
-                i += 1;
-            }
-        }
-    }
-
-    CleanSource {
-        code: String::from_utf8_lossy(&out).into_owned(),
-        allows,
-    }
-}
-
-fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
-    if i > 0 && is_ident_char(bytes[i - 1]) {
-        return false;
-    }
-    let mut j = i + 1;
-    while j < bytes.len() && bytes[j] == b'#' {
-        j += 1;
-    }
-    j < bytes.len() && bytes[j] == b'"'
-}
-
-fn skip_raw_string(bytes: &[u8], i: usize) -> (usize, usize) {
-    let mut hashes = 0usize;
-    let mut j = i + 1;
-    while j < bytes.len() && bytes[j] == b'#' {
-        hashes += 1;
-        j += 1;
-    }
-    j += 1; // opening quote
-    let mut newlines = 0usize;
-    while j < bytes.len() {
-        if bytes[j] == b'\n' {
-            newlines += 1;
-        }
-        if bytes[j] == b'"' {
-            let end_hashes = bytes[j + 1..]
-                .iter()
-                .take(hashes)
-                .take_while(|&&b| b == b'#')
-                .count();
-            if end_hashes == hashes {
-                return (j + 1 + hashes, newlines);
-            }
-        }
-        j += 1;
-    }
-    (bytes.len(), newlines)
-}
-
-fn is_ident_char(b: u8) -> bool {
-    b.is_ascii_alphanumeric() || b == b'_'
-}
-
-/// Does `line` contain `ident` as a standalone identifier token?
-fn has_ident(line: &str, ident: &str) -> bool {
-    let bytes = line.as_bytes();
-    let mut start = 0usize;
-    while let Some(pos) = line[start..].find(ident) {
-        let at = start + pos;
-        let before_ok = at == 0 || !is_ident_char(bytes[at - 1]);
-        let after = at + ident.len();
-        let after_ok = after >= bytes.len() || !is_ident_char(bytes[after]);
-        if before_ok && after_ok {
-            return true;
-        }
-        start = at + ident.len();
-    }
-    false
-}
-
-/// Does `line` contain a comparison operator (excluding `->`, `=>`, shifts)?
-fn has_comparison(line: &str) -> bool {
-    let b = line.as_bytes();
-    for i in 0..b.len() {
-        match b[i] {
-            // `==` but not the tail of `<=`/`>=`/`!=`/`==` already counted.
-            b'=' if b.get(i + 1) == Some(&b'=')
-                && (i == 0 || !matches!(b[i - 1], b'<' | b'>' | b'!' | b'=')) =>
-            {
-                return true;
-            }
-            b'!' if b.get(i + 1) == Some(&b'=') => return true,
-            b'<' => {
-                if b.get(i + 1) == Some(&b'<') || (i > 0 && b[i - 1] == b'<') {
-                    continue; // shift
+                name @ ("RwLock" | "mpsc") if scope.ch007 => {
+                    em.push(
+                        Rule::Ch007,
+                        t.line,
+                        format!(
+                            "{name} in a simulation crate: arrival/wake order is \
+                             scheduler-dependent; use the std::thread::scope claiming \
+                             pattern with index-ordered reassembly"
+                        ),
+                    );
                 }
-                return true;
-            }
-            b'>' => {
-                if i > 0 && matches!(b[i - 1], b'-' | b'=' | b'>') {
-                    continue; // -> or => or shift tail
+                "Mutex" if scope.ch007 && !mutex_sanctioned => {
+                    em.push(
+                        Rule::Ch007,
+                        t.line,
+                        "Mutex outside the sanctioned claiming pattern: lock order is \
+                         scheduler-dependent; pair it with std::thread::scope and \
+                         index-ordered reassembly"
+                            .to_string(),
+                    );
                 }
-                if b.get(i + 1) == Some(&b'>') {
-                    continue; // shift head
+                name @ ("todo" | "unimplemented" | "unreachable")
+                    if scope.ch008 && next.is_some_and(|n| n.is_punct("!")) =>
+                {
+                    em.push(
+                        Rule::Ch008,
+                        t.line,
+                        format!(
+                            "{name}! in library code: placeholder panics must not ship \
+                             in the simulators; return a typed error or finish the path"
+                        ),
+                    );
                 }
-                return true;
+                _ => {}
+            },
+            TokKind::Punct if scope.ch008 && (t.text == "==" || t.text == "!=") => {
+                let float_side =
+                    prev.is_some_and(is_float_operand) || next.is_some_and(is_float_operand);
+                let zero_side = prev.is_some_and(is_zero_float) || next.is_some_and(is_zero_float);
+                if float_side && !zero_side {
+                    em.push(
+                        Rule::Ch008,
+                        t.line,
+                        "f64 equality comparison: exact float equality is \
+                         rounding-fragile; compare integer microseconds/counts, or an \
+                         explicit tolerance (only exact-zero guards are exempt)"
+                            .to_string(),
+                    );
+                }
             }
             _ => {}
         }
     }
-    line.contains(".partial_cmp(") || line.contains(".total_cmp(")
-}
 
-/// Count `.unwrap()`, `.expect(` and `panic!` sites on one cleaned line.
-fn count_panic_sites(line: &str) -> usize {
-    let mut n = 0usize;
-    let mut rest = line;
-    while let Some(pos) = rest.find(".unwrap()") {
-        n += 1;
-        rest = &rest[pos + ".unwrap()".len()..];
-    }
-    let mut rest = line;
-    while let Some(pos) = rest.find(".expect(") {
-        n += 1;
-        rest = &rest[pos + ".expect(".len()..];
-    }
-    let mut start = 0usize;
-    while let Some(pos) = line[start..].find("panic!") {
-        let at = start + pos;
-        if at == 0 || !is_ident_char(line.as_bytes()[at - 1]) {
-            n += 1;
-        }
-        start = at + "panic!".len();
-    }
-    n
-}
-
-/// Byte spans (into the cleaned source) of `#[cfg(test)]` items.
-fn test_region_spans(clean: &str) -> Vec<(usize, usize)> {
-    let mut spans = Vec::new();
-    let bytes = clean.as_bytes();
-    let mut search = 0usize;
-    while let Some(pos) = clean[search..].find("#[cfg(test)]") {
-        let attr_at = search + pos;
-        // The guarded item runs from the attribute to the close of the first
-        // brace block after it.
-        let Some(open_rel) = clean[attr_at..].find('{') else {
-            break;
-        };
-        let open = attr_at + open_rel;
-        let mut depth = 0usize;
-        let mut end = bytes.len();
-        for (j, &b) in bytes.iter().enumerate().skip(open) {
-            match b {
-                b'{' => depth += 1,
-                b'}' => {
-                    depth -= 1;
-                    if depth == 0 {
-                        end = j + 1;
-                        break;
-                    }
-                }
-                _ => {}
+    // CH009: every allow directive must have suppressed something above.
+    // Directives inside #[cfg(test)] items are ignored along with the code
+    // they annotate.
+    if scope.any_rule() {
+        let test_lines: Vec<(usize, usize)> = ranges
+            .iter()
+            .filter(|&&(s, e)| s < toks.len() && e > s)
+            .map(|&(s, e)| (toks[s].line, toks[e - 1].line))
+            .collect();
+        let consumed = std::mem::take(&mut em.consumed);
+        for (&line, codes) in em.allows {
+            if test_lines.iter().any(|&(s, e)| line >= s && line <= e) {
+                continue;
+            }
+            for code in codes {
+                let message = match Rule::parse(code) {
+                    None => format!(
+                        "unknown rule code {code} in suppression directive: \
+                         nothing is suppressed; fix or remove it"
+                    ),
+                    Some(_) if !consumed.contains(&(line, code.clone())) => format!(
+                        "stale suppression: allow({code}) on a line where {code} does \
+                         not fire; remove the directive"
+                    ),
+                    Some(_) => continue,
+                };
+                // Emitted directly: a stale-suppression finding cannot
+                // itself be suppressed away.
+                let snippet = em
+                    .lines
+                    .get(line.wrapping_sub(1))
+                    .map_or_else(String::new, |l| l.trim().to_string());
+                em.findings.push(Finding {
+                    rule: Rule::Ch009,
+                    file: rel.to_string(),
+                    line,
+                    snippet,
+                    message,
+                });
             }
         }
-        spans.push((attr_at, end));
-        search = end.max(attr_at + 1);
     }
-    spans
+
+    em.findings
 }

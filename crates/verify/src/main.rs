@@ -1,7 +1,7 @@
 //! `charisma-verify` — the workspace's correctness gate.
 //!
 //! ```text
-//! charisma-verify lint [--root DIR]
+//! charisma-verify lint [--root DIR] [--json]
 //! charisma-verify determinism [--seed N] [--scale F] [--shards N]
 //! charisma-verify metrics [--seed N] [--scale F] [--shards N]
 //!                         [--fixture PATH] [--write]
@@ -9,6 +9,8 @@
 //!                       [--fixture PATH] [--plan PATH] [--write]
 //! charisma-verify archive [--seed N] [--scale F] [--workers N]
 //!                         [--fixture PATH] [--write]
+//! charisma-verify bench [--seed N] [--scale F] [--workers N]
+//!                       [--pr N] [--out PATH]
 //! ```
 //!
 //! With `--shards N`, the determinism check runs the sharded pipeline on
@@ -43,14 +45,16 @@ use charisma_verify::{
     archive_fixture_line, chaos_metrics_json, chaos_plan, check_archive_gate,
     check_chaos_determinism, check_chaos_shard_equivalence, check_fault_activity,
     check_metrics_shard_equivalence, check_pipeline_determinism, check_shard_equivalence,
-    check_sharded_determinism, core_metrics_json, diff_json, diff_plan, lint_workspace, LintConfig,
+    check_sharded_determinism, core_metrics_json, diff_json, diff_plan, findings_to_json,
+    lint_workspace, run_bench, LintConfig,
 };
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: charisma-verify <command>\n\n\
          commands:\n\
-           lint         [--root DIR]            run the CH001-CH004 static pass\n\
+           lint         [--root DIR] [--json]   run the CH001-CH010 static pass;\n\
+                        --json emits findings as a JSON array for CI annotation\n\
            determinism  [--seed N] [--scale F] [--shards N]\n\
                         prove two same-seed pipeline runs agree; with --shards,\n\
                         run sharded on N workers and also diff against serial\n\
@@ -68,7 +72,11 @@ fn usage() -> ExitCode {
                         prove the columnar trace archive is canonical (worker-\n\
                         count invariant, hash fixture), round-trips exactly, and\n\
                         prunes without changing results; --write regenerates\n\
-                        the hash fixture"
+                        the hash fixture\n\
+           bench        [--seed N] [--scale F] [--workers N] [--pr N] [--out PATH]\n\
+                        run the pinned pipeline once, time generation and a\n\
+                        full-archive scan, and print (or write) a BENCH_N.json\n\
+                        perf record"
     );
     ExitCode::from(2)
 }
@@ -81,6 +89,7 @@ fn main() -> ExitCode {
         Some("metrics") => run_metrics(&args[1..]),
         Some("chaos") => run_chaos(&args[1..]),
         Some("archive") => run_archive(&args[1..]),
+        Some("bench") => run_bench_cmd(&args[1..]),
         _ => usage(),
     }
 }
@@ -113,17 +122,26 @@ fn run_lint(args: &[String]) -> ExitCode {
     let root = flag_value(args, "--root")
         .map(PathBuf::from)
         .unwrap_or_else(find_workspace_root);
+    let json = args.iter().any(|a| a == "--json");
     let cfg = LintConfig::new(root);
     match lint_workspace(&cfg) {
         Ok(findings) if findings.is_empty() => {
-            println!("charisma-verify lint: clean");
+            if json {
+                print!("{}", findings_to_json(&findings));
+            } else {
+                println!("charisma-verify lint: clean");
+            }
             ExitCode::SUCCESS
         }
         Ok(findings) => {
-            for f in &findings {
-                println!("{f}");
+            if json {
+                print!("{}", findings_to_json(&findings));
+            } else {
+                for f in &findings {
+                    println!("{f}");
+                }
+                println!("charisma-verify lint: {} violation(s)", findings.len());
             }
-            println!("charisma-verify lint: {} violation(s)", findings.len());
             ExitCode::FAILURE
         }
         Err(e) => {
@@ -131,6 +149,44 @@ fn run_lint(args: &[String]) -> ExitCode {
             ExitCode::from(2)
         }
     }
+}
+
+fn run_bench_cmd(args: &[String]) -> ExitCode {
+    let (seed, scale, workers, pr) = match (
+        parsed_flag(args, "--seed", 4994u64),
+        parsed_flag(args, "--scale", 0.05f64),
+        parsed_flag(args, "--workers", 4usize),
+        parsed_flag(args, "--pr", 0u64),
+    ) {
+        (Ok(seed), Ok(scale), Ok(workers), Ok(pr)) => (seed, scale, workers, pr),
+        (Err(e), _, _, _) | (_, Err(e), _, _) | (_, _, Err(e), _) | (_, _, _, Err(e)) => {
+            eprintln!("charisma-verify bench: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    eprintln!(
+        "charisma-verify bench: seed={seed} scale={scale} workers={workers}, \
+         timing generate + scan..."
+    );
+    let record = match run_bench(seed, scale, workers) {
+        Ok(record) => record,
+        Err(e) => {
+            eprintln!("charisma-verify bench: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let json = record.to_json(pr);
+    match flag_value(args, "--out") {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &json) {
+                eprintln!("charisma-verify bench: cannot write {path}: {e}");
+                return ExitCode::from(2);
+            }
+            eprintln!("bench record written: {path}");
+        }
+        None => print!("{json}"),
+    }
+    ExitCode::SUCCESS
 }
 
 /// Parse an optional flag, distinguishing "absent" (use the default) from

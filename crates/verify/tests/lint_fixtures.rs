@@ -3,11 +3,17 @@
 //! workspace walk never lints them) and are scanned under a simulated
 //! simulation-crate path.
 
-use charisma_verify::lint::{scan_source, scope_for, Rule};
+use charisma_verify::lint::{findings_to_json, scan_source, scope_for, Rule};
 
 /// Scan `source` as if it sat in a fully-scoped simulation crate.
 fn scan(source: &str) -> Vec<charisma_verify::Finding> {
     let rel = "crates/ipsc/src/fixture.rs";
+    scan_source(rel, source, scope_for(rel))
+}
+
+/// Scan `source` as if it sat in the store crate (the only CH005 scope).
+fn scan_store(source: &str) -> Vec<charisma_verify::Finding> {
+    let rel = "crates/store/src/fixture.rs";
     scan_source(rel, source, scope_for(rel))
 }
 
@@ -81,6 +87,147 @@ fn ch004_quiet_on_seeded_rngs() {
 }
 
 #[test]
+fn ch002_ignores_generic_angle_brackets() {
+    // `Vec<f64>` on the same line as as_secs_f64 is not a comparison —
+    // the historical line-based scanner flagged exactly this shape.
+    let source = "pub fn spans(ts: Vec<SimTime>) -> Vec<f64> {\n    \
+                  let out: Vec<f64> = ts.iter().map(|t| t.as_secs_f64()).collect::<Vec<f64>>();\n    \
+                  out\n}\n";
+    assert_eq!(codes(source), [""; 0]);
+}
+
+#[test]
+fn ch005_counts_every_truncating_cast_in_store() {
+    let findings = scan_store(include_str!("../fixtures/ch005_trigger.rs"));
+    let ch005 = findings.iter().filter(|f| f.rule == Rule::Ch005).count();
+    assert_eq!(ch005, 2, "as u8 + as u32: {findings:#?}");
+    assert!(findings.iter().all(|f| f.rule == Rule::Ch005));
+}
+
+#[test]
+fn ch005_quiet_on_try_from_and_widening_casts() {
+    let findings = scan_store(include_str!("../fixtures/ch005_clean.rs"));
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn ch005_is_store_only() {
+    // The same casts outside the store crate are not canonical-bytes
+    // hazards; no other rule may fire on them either.
+    let findings = scan(include_str!("../fixtures/ch005_trigger.rs"));
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn ch005_allow_suppresses_and_is_consumed() {
+    let source = "pub fn f(n: usize) -> u8 {\n    \
+                  n as u8 // charisma-verify: allow(CH005, length checked by caller)\n}\n";
+    let findings = scan_store(source);
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn ch006_fires_on_static_mut_unsafe_and_transmute() {
+    let findings = scan(include_str!("../fixtures/ch006_trigger.rs"));
+    let ch006 = findings.iter().filter(|f| f.rule == Rule::Ch006).count();
+    assert_eq!(ch006, 3, "static mut + unsafe + transmute: {findings:#?}");
+}
+
+#[test]
+fn ch006_quiet_on_safe_encoding() {
+    assert_eq!(codes(include_str!("../fixtures/ch006_clean.rs")), [""; 0]);
+}
+
+#[test]
+fn ch007_fires_on_unsanctioned_concurrency() {
+    let findings = scan(include_str!("../fixtures/ch007_trigger.rs"));
+    let ch007: Vec<_> = findings.iter().filter(|f| f.rule == Rule::Ch007).collect();
+    // use line: mpsc + Mutex + RwLock, body: Mutex::new + thread::spawn.
+    assert_eq!(ch007.len(), 5, "{findings:#?}");
+    assert!(findings.iter().all(|f| f.rule == Rule::Ch007));
+}
+
+#[test]
+fn ch007_sanctions_the_thread_scope_claiming_pattern() {
+    let findings = scan(include_str!("../fixtures/ch007_clean.rs"));
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn ch007_exempts_the_obs_registry() {
+    let rel = "crates/obs/src/fixture.rs";
+    let findings = scan_source(
+        rel,
+        include_str!("../fixtures/ch007_trigger.rs"),
+        scope_for(rel),
+    );
+    assert!(
+        findings.iter().all(|f| f.rule != Rule::Ch007),
+        "{findings:#?}"
+    );
+}
+
+#[test]
+fn ch008_fires_on_placeholder_panics_and_float_equality() {
+    let findings = scan(include_str!("../fixtures/ch008_trigger.rs"));
+    let ch008 = findings.iter().filter(|f| f.rule == Rule::Ch008).count();
+    assert_eq!(ch008, 3, "f64 == + todo! + unreachable!: {findings:#?}");
+}
+
+#[test]
+fn ch008_quiet_on_zero_guards_and_tolerances() {
+    assert_eq!(codes(include_str!("../fixtures/ch008_clean.rs")), [""; 0]);
+}
+
+#[test]
+fn ch008_is_out_of_scope_for_workload() {
+    let rel = "crates/workload/src/fixture.rs";
+    let findings = scan_source(
+        rel,
+        include_str!("../fixtures/ch008_trigger.rs"),
+        scope_for(rel),
+    );
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn ch009_flags_stale_and_unknown_suppressions() {
+    let findings = scan(include_str!("../fixtures/stale_suppression.rs"));
+    assert_eq!(findings.len(), 2, "{findings:#?}");
+    assert!(findings.iter().all(|f| f.rule == Rule::Ch009));
+    assert_eq!(findings[0].line, 3, "stale allow(CH001): {findings:#?}");
+    assert!(findings[0].message.contains("stale suppression"));
+    assert_eq!(findings[1].line, 6, "unknown CH999: {findings:#?}");
+    assert!(findings[1].message.contains("unknown rule code"));
+}
+
+#[test]
+fn ch009_stays_quiet_for_consumed_suppressions_and_test_code() {
+    // The suppressed.rs allow is consumed (CH001 really fires there), and
+    // directives inside #[cfg(test)] items are ignored entirely.
+    let findings = scan(include_str!("../fixtures/suppressed.rs"));
+    assert!(
+        findings.iter().all(|f| f.rule != Rule::Ch009),
+        "{findings:#?}"
+    );
+    let test_gated = "#[cfg(test)]\nmod tests {\n    \
+                      // charisma-verify: allow(CH001, test-only note)\n    \
+                      fn t() {}\n}\n";
+    assert_eq!(codes(test_gated), [""; 0]);
+}
+
+#[test]
+fn cfg_test_on_semicolon_items_scopes_only_that_item() {
+    // Historical bug: the line-based scanner blanked from the gated `use`
+    // through the *next* item's first brace, hiding library code from the
+    // rules. The token-level item tracker ends the region at the `;`.
+    let findings = scan(include_str!("../fixtures/cfg_test_scoping.rs"));
+    assert_eq!(findings.len(), 1, "{findings:#?}");
+    assert_eq!(findings[0].rule, Rule::Ch001);
+    assert_eq!(findings[0].line, 16, "lib_code body: {findings:#?}");
+}
+
+#[test]
 fn inline_allow_suppresses_only_its_line() {
     let source = include_str!("../fixtures/suppressed.rs");
     let findings = scan(source);
@@ -117,9 +264,113 @@ fn non_simulation_paths_are_out_of_scope() {
 }
 
 #[test]
-fn workload_is_scoped_for_ch004_only_rng_rules() {
+fn workload_is_scoped_for_rng_unsafe_and_concurrency_rules_only() {
     let scope = scope_for("crates/workload/src/apps.rs");
     assert!(!scope.ch001 && !scope.ch002 && !scope.ch003 && scope.ch004);
+    assert!(!scope.ch005 && scope.ch006 && scope.ch007 && !scope.ch008);
+    assert!(scope.metrics);
+}
+
+#[test]
+fn store_is_held_to_every_rule() {
+    let scope = scope_for("crates/store/src/codec.rs");
+    assert!(scope.ch001 && scope.ch002 && scope.ch003 && scope.ch004);
+    assert!(scope.ch005 && scope.ch006 && scope.ch007 && scope.ch008);
+    assert!(scope.metrics && scope.any_rule());
+}
+
+#[test]
+fn obs_is_exempt_from_clock_and_concurrency_rules() {
+    let scope = scope_for("crates/obs/src/metrics.rs");
+    assert!(scope.ch001 && scope.ch003 && scope.ch008 && scope.metrics);
+    assert!(!scope.ch004 && !scope.ch005 && !scope.ch007);
+}
+
+#[test]
+fn metric_registrations_are_extracted_with_wildcards() {
+    let source = "pub fn wire(registry: &MetricsRegistry, snapshot: &mut MetricsSnapshot) {\n    \
+                  let c = registry.counter(\"cfs.read_requests\");\n    \
+                  let d = registry.counter(&format!(\"cfs.requests.mode{m}\"));\n    \
+                  snapshot.set_counter(\n        \
+                  &format!(\"workload.shard{shard:02}.jobs\"),\n        1,\n    );\n}\n\
+                  #[cfg(test)]\nmod tests {\n    \
+                  fn t(r: &MetricsRegistry) { r.counter(\"test.only\"); }\n}\n";
+    let (regs, findings) =
+        charisma_verify::consistency::extract_metric_registrations("crates/cfs/src/x.rs", source);
+    assert!(findings.is_empty(), "{findings:#?}");
+    let patterns: Vec<&str> = regs.iter().map(|r| r.pattern.as_str()).collect();
+    assert_eq!(
+        patterns,
+        [
+            "cfs.read_requests",
+            "cfs.requests.mode*",
+            "workload.shard*.jobs"
+        ]
+    );
+    assert!(!regs[0].wildcard && regs[1].wildcard && regs[2].wildcard);
+}
+
+#[test]
+fn dynamic_metric_names_without_a_literal_are_flagged() {
+    let source = "pub fn wire(r: &MetricsRegistry, name: &str) {\n    r.counter(name);\n}\n";
+    let (regs, findings) =
+        charisma_verify::consistency::extract_metric_registrations("crates/cfs/src/x.rs", source);
+    assert!(regs.is_empty());
+    assert_eq!(findings.len(), 1, "{findings:#?}");
+    assert_eq!(findings[0].rule, Rule::Ch010);
+    assert_eq!(findings[0].line, 2);
+}
+
+#[test]
+fn metric_consistency_flags_drift_in_both_directions() {
+    use charisma_verify::MetricReg;
+    use std::collections::BTreeMap;
+    let reg = |line: usize, pattern: &str, wildcard: bool| MetricReg {
+        file: "crates/x/src/a.rs".to_string(),
+        line,
+        pattern: pattern.to_string(),
+        wildcard,
+    };
+    let regs = vec![
+        reg(1, "a.hits", false),
+        reg(2, "a.mode*", true),
+        reg(3, "gone.metric", false),
+        reg(4, "cachesim.opt_in", false),
+        reg(5, "faults.shard_retries", false),
+    ];
+    let mut fixture: BTreeMap<String, (String, usize)> = BTreeMap::new();
+    for (name, line) in [("a.hits", 2), ("a.mode0", 3), ("orphan.metric", 4)] {
+        fixture.insert(name.to_string(), ("fx.json".to_string(), line));
+    }
+    let findings = charisma_verify::check_metric_consistency(&regs, &fixture);
+    // `gone.metric` (registered, unpinned) and `orphan.metric` (pinned,
+    // unregistered); the optional cachesim.* / shard_retries names pass.
+    assert_eq!(findings.len(), 2, "{findings:#?}");
+    assert!(findings.iter().all(|f| f.rule == Rule::Ch010));
+    assert!(findings.iter().any(|f| f.message.contains("gone.metric")));
+    assert!(findings.iter().any(|f| f.message.contains("orphan.metric")));
+}
+
+#[test]
+fn the_real_snapshot_fixture_parses_to_metric_names() {
+    let names =
+        charisma_verify::fixture_metric_names(include_str!("../fixtures/metrics_snapshot.json"));
+    let flat: Vec<&str> = names.iter().map(|(n, _)| n.as_str()).collect();
+    assert!(flat.contains(&"cfs.cache_hits"), "{flat:?}");
+    assert!(flat.contains(&"engine.queue_depth_high_water"), "{flat:?}");
+    assert!(flat.contains(&"machine.route_hops"), "{flat:?}");
+    assert!(names.len() >= 30, "only {} names parsed", names.len());
+}
+
+#[test]
+fn findings_render_as_machine_readable_json() {
+    let findings = scan(include_str!("../fixtures/ch002_trigger.rs"));
+    let json = findings_to_json(&findings);
+    assert!(json.starts_with("[\n"));
+    assert!(json.contains("\"rule\": \"CH002\""));
+    assert!(json.contains("\"file\": \"crates/ipsc/src/fixture.rs\""));
+    assert!(json.contains("\"line\": 3"));
+    assert_eq!(findings_to_json(&[]), "[\n]\n");
 }
 
 #[test]
