@@ -50,7 +50,15 @@ fn bench_store(c: &mut Criterion) {
         })
     });
     g.bench_function("pruned_time_window", |b| {
-        b.iter(|| black_box(archive.query(window).workers(4).events().expect("scans")))
+        b.iter(|| {
+            black_box(
+                archive
+                    .query(window.clone())
+                    .workers(4)
+                    .events()
+                    .expect("scans"),
+            )
+        })
     });
     g.bench_function("request_class_report", |b| {
         b.iter(|| {

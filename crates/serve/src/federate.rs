@@ -1,0 +1,273 @@
+//! Federated queries: one predicate fanned out across every tenant's
+//! pinned catalog, k-way merged back into a single deterministic stream.
+//!
+//! The fan-out reuses the store's sanctioned pattern — worker threads
+//! under [`std::thread::scope`] claim snapshots from an atomic cursor —
+//! and each claimed snapshot runs an ordinary pruned [`Scan`]. The merge
+//! is a k-way minimum over `(time, node, tenant)`: because every tenant
+//! stream is internally ordered by `(time, node)`, the merged output is
+//! exactly a stable sort of the tenant-ordered concatenation by
+//! `(time, node)` — the federation analog of the trace layer's canonical
+//! `(time, node, shard, seq)` merge key, with the tenant index standing
+//! in for the shard and per-tenant row order for the sequence number.
+//! The property suite pins that equivalence for arbitrary queries and
+//! worker counts.
+//!
+//! [`Scan`]: charisma_store::Scan
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use charisma_store::{Query, StoreError};
+use charisma_trace::OrderedEvent;
+
+use crate::service::{lock, Service, Snapshot};
+use crate::ServeError;
+
+/// A prepared federated query: a predicate bound to a [`Service`]'s
+/// tenant set, plus execution knobs. Obtained from
+/// [`Service::federated`].
+#[derive(Debug)]
+pub struct FederatedQuery<'a> {
+    service: &'a Service,
+    query: Query,
+    workers: usize,
+}
+
+impl Service {
+    /// Begin a query over every tenant's catalog. The returned builder
+    /// snapshots all tenants when consumed, so the result is a consistent
+    /// federated view even under concurrent ingest.
+    pub fn federated(&self, query: Query) -> FederatedQuery<'_> {
+        FederatedQuery {
+            service: self,
+            query,
+            workers: 1,
+        }
+    }
+}
+
+impl FederatedQuery<'_> {
+    /// Fan out over `n` worker threads (default 1; capped at the tenant
+    /// count; 0 is treated as 1). The result is identical for every `n`.
+    #[must_use]
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n.max(1);
+        self
+    }
+
+    /// Every matching record across all tenants, merged by
+    /// `(time, node, tenant)`.
+    pub fn events(&self) -> Result<Vec<OrderedEvent>, ServeError> {
+        let snapshots = self.service.snapshot_all();
+        federated_events(&snapshots, &self.query, self.workers, self.service)
+    }
+}
+
+/// Run `query` over an explicit snapshot set (tenant order = slice
+/// order) and merge. The `Service` method above is the common entry;
+/// this free function also serves pinned snapshot sets directly.
+pub(crate) fn federated_events(
+    snapshots: &[Snapshot],
+    query: &Query,
+    workers: usize,
+    service: &Service,
+) -> Result<Vec<OrderedEvent>, ServeError> {
+    let m = service.metrics();
+    m.federated_queries.inc();
+    let mut pruned = 0u64;
+    let mut admitted = 0u64;
+    for snap in snapshots {
+        for seg in snap.reader().segments() {
+            if query.admits(seg.zone()) {
+                admitted += 1;
+            } else {
+                pruned += 1;
+            }
+        }
+    }
+    m.federated_segments_pruned.add(pruned);
+    m.federated_segments_scanned.add(admitted);
+
+    let workers = workers.min(snapshots.len()).max(1);
+    let cursor = AtomicUsize::new(0);
+    let results: Mutex<Vec<(usize, Vec<OrderedEvent>)>> = Mutex::new(Vec::new());
+    let first_error: Mutex<Option<(usize, StoreError)>> = Mutex::new(None);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let claim = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(snap) = snapshots.get(claim) else {
+                    break;
+                };
+                match snap.reader().query(query.clone()).events() {
+                    Ok(events) => lock(&results).push((claim, events)),
+                    Err(e) => {
+                        let mut slot = lock(&first_error);
+                        // Keep the lowest-tenant error: deterministic
+                        // regardless of which worker saw one first.
+                        if slot.as_ref().is_none_or(|(s, _)| claim < *s) {
+                            *slot = Some((claim, e));
+                        }
+                    }
+                }
+            });
+        }
+    });
+    if let Some((_, e)) = lock(&first_error).take() {
+        return Err(ServeError::Store(e));
+    }
+    let mut per_tenant: Vec<Vec<OrderedEvent>> = vec![Vec::new(); snapshots.len()];
+    for (tenant, events) in lock(&results).drain(..) {
+        per_tenant[tenant] = events;
+    }
+    let merged = kway_merge(&per_tenant);
+    m.federated_rows.add(merged.len() as u64);
+    Ok(merged)
+}
+
+/// Deterministic k-way merge of per-tenant ordered streams. Ties on
+/// `(time, node)` break by tenant index, which for internally-ordered
+/// inputs makes the output a stable sort of the tenant-ordered
+/// concatenation by `(time, node)`.
+fn kway_merge(streams: &[Vec<OrderedEvent>]) -> Vec<OrderedEvent> {
+    let total: usize = streams.iter().map(Vec::len).sum();
+    let mut heads = vec![0usize; streams.len()];
+    let mut out = Vec::with_capacity(total);
+    while out.len() < total {
+        let mut best: Option<(u64, u16, usize)> = None;
+        for (tenant, stream) in streams.iter().enumerate() {
+            if let Some(e) = stream.get(heads[tenant]) {
+                let key = (e.time.as_micros(), e.node, tenant);
+                if best.is_none_or(|b| key < b) {
+                    best = Some(key);
+                }
+            }
+        }
+        let Some((_, _, tenant)) = best else {
+            break;
+        };
+        if let Some(&e) = streams[tenant].get(heads[tenant]) {
+            out.push(e);
+        }
+        heads[tenant] += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::{ServiceConfig, TenantFeed};
+    use charisma_ipsc::SimTime;
+    use charisma_trace::record::EventBody;
+
+    fn stream(n: u64, salt: u64) -> Vec<OrderedEvent> {
+        (0..n)
+            .map(|i| OrderedEvent {
+                time: SimTime::from_micros((i + salt) / 2 * 5),
+                node: ((i * 7 + salt) % 6) as u16,
+                body: EventBody::Read {
+                    session: (i % 4) as u32,
+                    offset: i * 64,
+                    bytes: 64,
+                },
+            })
+            .collect()
+    }
+
+    fn sorted(mut events: Vec<OrderedEvent>) -> Vec<OrderedEvent> {
+        events.sort_by_key(|e| (e.time, e.node));
+        events
+    }
+
+    fn service_with(feeds: &[TenantFeed]) -> Service {
+        let service = Service::new(ServiceConfig {
+            tenants: feeds.len(),
+            ..ServiceConfig::default()
+        });
+        service.run_ingest(feeds, 2, 1).expect("ingests");
+        service
+    }
+
+    fn feeds(k: usize, rows: u64) -> Vec<TenantFeed> {
+        (0..k)
+            .map(|tenant| TenantFeed {
+                tenant,
+                batches: sorted(stream(rows, tenant as u64 * 17))
+                    .chunks(777)
+                    .map(<[_]>::to_vec)
+                    .collect(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn federated_scan_equals_concat_then_stable_sort() {
+        let feeds = feeds(3, 9000);
+        let service = service_with(&feeds);
+        let queries = [
+            Query::all(),
+            Query::all().nodes(&[1, 4]),
+            Query::all().time_window(SimTime::from_micros(500), SimTime::from_micros(14_000)),
+        ];
+        for q in queries {
+            // Oracle: serial per-tenant scans concatenated in tenant
+            // order, stable-sorted by (time, node).
+            let mut want = Vec::new();
+            for feed in &feeds {
+                let snap = service.snapshot(feed.tenant).expect("snapshots");
+                want.extend(snap.query(q.clone()).events().expect("scans"));
+            }
+            want.sort_by_key(|e| (e.time, e.node)); // stable
+            for workers in [1, 2, 4] {
+                let got = service
+                    .federated(q.clone())
+                    .workers(workers)
+                    .events()
+                    .expect("federates");
+                assert_eq!(got, want, "workers={workers} query={q:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn federated_metrics_account_for_pruning_and_rows() {
+        let feeds = feeds(2, 10_000);
+        let mut service = Service::new(ServiceConfig {
+            tenants: 2,
+            ..ServiceConfig::default()
+        });
+        let registry = charisma_obs::MetricsRegistry::new();
+        service.attach_metrics(crate::ServeMetrics::register(&registry));
+        service.run_ingest(&feeds, 2, 1).expect("ingests");
+        let q = Query::all().time_window(SimTime::ZERO, SimTime::from_micros(100));
+        let got = service.federated(q).workers(2).events().expect("federates");
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["serve.federated_queries"], 1);
+        assert!(snap.counters["serve.federated_segments_pruned"] > 0);
+        assert!(snap.counters["serve.federated_segments_scanned"] > 0);
+        assert_eq!(snap.counters["serve.federated_rows"], got.len() as u64);
+    }
+
+    #[test]
+    fn empty_and_lopsided_tenants_merge_cleanly() {
+        let feeds = vec![
+            TenantFeed {
+                tenant: 0,
+                batches: Vec::new(),
+            },
+            TenantFeed {
+                tenant: 1,
+                batches: vec![sorted(stream(300, 2))],
+            },
+        ];
+        let service = service_with(&feeds);
+        let got = service
+            .federated(Query::all())
+            .workers(4)
+            .events()
+            .expect("federates");
+        assert_eq!(got, sorted(stream(300, 2)));
+    }
+}

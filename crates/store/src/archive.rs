@@ -27,13 +27,14 @@
 //! which is what lets `charisma-verify archive` pin the whole file to one
 //! fixture hash.
 
-use bytes::{Buf, BufMut};
+use bytes::{Buf, BufMut, Bytes};
 use charisma_ipsc::SimTime;
 use charisma_trace::OrderedEvent;
 
 use crate::metrics::StoreMetrics;
 use crate::query::{Query, Scan};
-use crate::segment::{decode_segment, SegmentBuilder, ZoneMap, SEGMENT_ROWS};
+use crate::sealed::{ArchiveReader, SealedSegment};
+use crate::segment::{SegmentBuilder, ZoneMap, SEGMENT_ROWS};
 use crate::StoreError;
 
 /// Archive file magic, doubling as the version-0 marker of the container
@@ -144,16 +145,19 @@ where
     w.finish()
 }
 
-/// An opened archive: the raw bytes plus the decoded footer index.
+/// An opened archive file: a thin wrapper over an [`ArchiveReader`].
 ///
-/// Opening parses only the header and footer; segment bytes are decoded
-/// lazily, per query, and only for segments the zone maps cannot rule out.
+/// Since the build/serve split, all read behavior lives in
+/// [`ArchiveReader`]; `Archive` only adds the container parsing
+/// (`from_bytes`/`open`) and remembers the file size. Opening parses the
+/// header and footer, then slices one shared [`Bytes`] allocation into
+/// per-segment [`SealedSegment`] handles — no segment bytes are copied,
+/// and decoding stays lazy, per query, only for segments the zone maps
+/// cannot rule out.
 #[derive(Clone, Debug)]
 pub struct Archive {
-    bytes: Vec<u8>,
-    meta: ArchiveMeta,
-    zones: Vec<ZoneMap>,
-    rows: u64,
+    reader: ArchiveReader,
+    size_bytes: usize,
 }
 
 impl Archive {
@@ -232,14 +236,27 @@ impl Archive {
         if rows != zones.iter().map(|z| u64::from(z.rows)).sum::<u64>() {
             return Err(StoreError::Corrupt("row count disagrees with directory"));
         }
+        // One shared allocation; each segment handle is a zero-copy slice
+        // of it, so cloning the archive or its reader never copies bytes.
+        let size_bytes = bytes.len();
+        let shared = Bytes::from(bytes);
+        let segments = zones
+            .into_iter()
+            .map(|zone| {
+                let start = zone.offset as usize;
+                let end = (zone.offset + zone.len) as usize;
+                SealedSegment::from_parts(shared.slice(start..end), zone)
+            })
+            .collect();
         Ok(Archive {
-            bytes,
-            meta: ArchiveMeta {
-                seed,
-                scale: f64::from_bits(scale_bits),
-            },
-            zones,
-            rows,
+            reader: ArchiveReader::new(
+                ArchiveMeta {
+                    seed,
+                    scale: f64::from_bits(scale_bits),
+                },
+                segments,
+            ),
+            size_bytes,
         })
     }
 
@@ -249,63 +266,87 @@ impl Archive {
         Archive::from_bytes(bytes)
     }
 
+    /// The read view this archive wraps. Use it to hand segments to a
+    /// service, clone cheap read handles, or re-serialize via
+    /// [`ArchiveReader::to_bytes`].
+    pub fn reader(&self) -> &ArchiveReader {
+        &self.reader
+    }
+
+    /// Unwrap into the underlying [`ArchiveReader`].
+    pub fn into_reader(self) -> ArchiveReader {
+        self.reader
+    }
+
     /// Provenance recorded at write time.
     pub fn meta(&self) -> ArchiveMeta {
-        self.meta
+        self.reader.meta()
     }
 
     /// Total records archived.
     pub fn rows(&self) -> u64 {
-        self.rows
+        self.reader.rows()
     }
 
     /// Number of segments.
     pub fn segments(&self) -> usize {
-        self.zones.len()
+        self.reader.segment_count()
     }
 
     /// Total archive size in bytes.
     pub fn size_bytes(&self) -> usize {
-        self.bytes.len()
+        self.size_bytes
     }
 
     /// The archived time span `(first, last)` from the zone maps alone,
     /// or `None` for an empty archive.
     pub fn time_span(&self) -> Option<(SimTime, SimTime)> {
-        let min = self.zones.iter().map(|z| z.time.min).min()?;
-        let max = self.zones.iter().map(|z| z.time.max).max()?;
-        Some((SimTime::from_micros(min), SimTime::from_micros(max)))
+        self.reader.time_span()
     }
 
     /// Begin a query over the archive. The returned [`Scan`] is a builder:
     /// set `.workers(n)` / `.attach_metrics(..)`, then consume it with
     /// `.events()`, `.report()`, or `.session_index()`.
     pub fn query(&self, query: Query) -> Scan<'_> {
-        Scan::new(self, query)
+        self.reader.query(query)
     }
 
-    /// Decode every record (the identity query, serially).
+    /// Decode every record (the identity query, serially) — delegates to
+    /// [`ArchiveReader::events`], which itself runs the one scan path.
     pub fn events(&self) -> Result<Vec<OrderedEvent>, StoreError> {
-        self.query(Query::all()).events()
+        self.reader.events()
     }
+}
 
-    pub(crate) fn zones(&self) -> &[ZoneMap] {
-        &self.zones
-    }
-
-    /// Decode segment `idx`'s records.
-    pub(crate) fn decode_segment_at(&self, idx: usize) -> Result<Vec<OrderedEvent>, StoreError> {
-        let zone = self
-            .zones
-            .get(idx)
-            .ok_or(StoreError::Corrupt("segment index out of range"))?;
-        let start = zone.offset as usize;
-        let end = (zone.offset + zone.len) as usize;
-        let blob = self
-            .bytes
-            .get(start..end)
-            .ok_or(StoreError::Corrupt("segment range outside archive body"))?;
-        decode_segment(blob, zone.rows)
+impl ArchiveReader {
+    /// Serialize the catalog into the canonical container format — the
+    /// exact bytes [`ArchiveWriter`] would produce from the same records.
+    /// This is the publication path of the serve layer: because sealed
+    /// segments are immutable and the layout below is a pure function of
+    /// the catalog, two readers over equal catalogs serialize to
+    /// bit-identical bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let meta = self.meta();
+        let mut buf = Vec::new();
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(VERSION);
+        buf.put_u64_le(meta.seed);
+        buf.put_u64_le(meta.scale.to_bits());
+        let mut zones: Vec<ZoneMap> = Vec::with_capacity(self.segment_count());
+        for seg in self.segments() {
+            zones.push(seg.zone_at(buf.len() as u64));
+            buf.put_slice(seg.bytes());
+        }
+        let footer_start = buf.len();
+        buf.put_varint_u64(zones.len() as u64);
+        for zone in &zones {
+            zone.encode(&mut buf);
+        }
+        buf.put_u64_le(self.rows());
+        let footer_len = (buf.len() - footer_start) as u64;
+        buf.put_u64_le(footer_len);
+        buf.put_slice(MAGIC);
+        buf
     }
 }
 

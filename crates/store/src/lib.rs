@@ -19,6 +19,18 @@
 //!   [`report`](Scan::report) for the subset, or rebuild the cache
 //!   simulators' [`session_index`](Scan::session_index).
 //!
+//! # Build/serve split
+//!
+//! Since the serve layer landed, the crate's surface separates the two
+//! halves the original `Archive` conflated: [`SegmentBuilder`] is the
+//! append-only *build* side, sealing into immutable [`SealedSegment`]
+//! handles (shared byte ownership — cloning is an `Arc` bump), and
+//! [`ArchiveReader`] is the pure *serve* side, a view over a catalog of
+//! sealed segments that answers queries and re-serializes canonically via
+//! [`ArchiveReader::to_bytes`]. `Archive` remains as the file-shaped thin
+//! wrapper over a reader; `charisma-serve` composes builders and readers
+//! into a long-lived multi-tenant service.
+//!
 //! # Determinism contract
 //!
 //! The archive bytes are a pure function of the event stream and the
@@ -34,6 +46,7 @@ mod archive;
 mod codec;
 mod metrics;
 mod query;
+mod sealed;
 mod segment;
 
 pub use archive::{write_archive, Archive, ArchiveMeta, ArchiveWriter};
@@ -43,7 +56,8 @@ pub use codec::{
 };
 pub use metrics::StoreMetrics;
 pub use query::{OpClass, OpSet, Query, Scan};
-pub use segment::{ZoneMap, SEGMENT_ROWS};
+pub use sealed::{ArchiveReader, SealedSegment};
+pub use segment::{SegmentBuilder, ZoneMap, SEGMENT_ROWS};
 
 /// Everything that can go wrong opening or scanning an archive.
 ///

@@ -1,7 +1,8 @@
 //! Predicates, zone-map pruning, and the parallel segment scan.
 //!
 //! A [`Query`] is a conjunction of optional predicates — time window,
-//! job, file, node, op class. Running one compiles the predicates twice:
+//! job set, file set, node set, op class. Running one compiles the
+//! predicates twice:
 //!
 //! 1. **Segment pruning** — [`Query::admits`] asks each zone map whether
 //!    any row could match; segments that cannot are skipped without
@@ -34,8 +35,8 @@ use charisma_ipsc::SimTime;
 use charisma_trace::record::EventBody;
 use charisma_trace::OrderedEvent;
 
-use crate::archive::Archive;
 use crate::metrics::StoreMetrics;
+use crate::sealed::ArchiveReader;
 use crate::segment::ZoneMap;
 use crate::StoreError;
 
@@ -108,16 +109,20 @@ impl OpSet {
 /// A conjunction of predicates over archived records.
 ///
 /// Every predicate is optional; [`Query::all`] matches everything. The
-/// `job` and `file` predicates select records that *name* that identity —
-/// job records, opens, and deletes — which is also exactly what the zone
-/// maps index; request records tie to jobs only through their session, a
-/// join the analyzer (not the store) owns.
-#[derive(Clone, Copy, Debug, Default, PartialEq)]
+/// identity predicates are *set-valued* — [`Query::jobs`],
+/// [`Query::files`], [`Query::nodes`] each accept a slice and match any
+/// member; [`Query::job`]/[`Query::file`]/[`Query::node`] are thin
+/// single-element wrappers kept for existing call sites. Job and file
+/// predicates select records that *name* that identity — job records,
+/// opens, and deletes — which is also exactly what the zone maps index;
+/// request records tie to jobs only through their session, a join the
+/// analyzer (not the store) owns.
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Query {
     time: Option<(u64, u64)>,
-    job: Option<u32>,
-    file: Option<u32>,
-    node: Option<u16>,
+    jobs: Option<Vec<u32>>,
+    files: Option<Vec<u32>>,
+    nodes: Option<Vec<u16>>,
     ops: Option<OpSet>,
 }
 
@@ -134,25 +139,46 @@ impl Query {
         self
     }
 
-    /// Restrict to records naming job `job`.
+    /// Restrict to records naming any job in `jobs`. Replaces any earlier
+    /// job predicate; an empty slice matches nothing.
     #[must_use]
-    pub fn job(mut self, job: u32) -> Self {
-        self.job = Some(job);
+    pub fn jobs(mut self, jobs: &[u32]) -> Self {
+        self.jobs = Some(jobs.to_vec());
         self
     }
 
-    /// Restrict to records naming file `file`.
+    /// Restrict to records naming job `job` (single-element [`Query::jobs`]).
     #[must_use]
-    pub fn file(mut self, file: u32) -> Self {
-        self.file = Some(file);
+    pub fn job(self, job: u32) -> Self {
+        self.jobs(&[job])
+    }
+
+    /// Restrict to records naming any file in `files`. Replaces any
+    /// earlier file predicate; an empty slice matches nothing.
+    #[must_use]
+    pub fn files(mut self, files: &[u32]) -> Self {
+        self.files = Some(files.to_vec());
         self
     }
 
-    /// Restrict to records recorded on `node`.
+    /// Restrict to records naming file `file` (single-element [`Query::files`]).
     #[must_use]
-    pub fn node(mut self, node: u16) -> Self {
-        self.node = Some(node);
+    pub fn file(self, file: u32) -> Self {
+        self.files(&[file])
+    }
+
+    /// Restrict to records recorded on any node in `nodes`. Replaces any
+    /// earlier node predicate; an empty slice matches nothing.
+    #[must_use]
+    pub fn nodes(mut self, nodes: &[u16]) -> Self {
+        self.nodes = Some(nodes.to_vec());
         self
+    }
+
+    /// Restrict to records recorded on `node` (single-element [`Query::nodes`]).
+    #[must_use]
+    pub fn node(self, node: u16) -> Self {
+        self.nodes(&[node])
     }
 
     /// Restrict to the record classes in `ops`.
@@ -170,8 +196,8 @@ impl Query {
                 return false;
             }
         }
-        if let Some(node) = self.node {
-            if e.node != node {
+        if let Some(nodes) = &self.nodes {
+            if !nodes.contains(&e.node) {
                 return false;
             }
         }
@@ -180,21 +206,23 @@ impl Query {
                 return false;
             }
         }
-        if let Some(job) = self.job {
+        if let Some(jobs) = &self.jobs {
             let named = match e.body {
                 EventBody::JobStart { job: j, .. }
                 | EventBody::JobEnd { job: j }
                 | EventBody::Open { job: j, .. }
-                | EventBody::Delete { job: j, .. } => j == job,
+                | EventBody::Delete { job: j, .. } => jobs.contains(&j),
                 _ => false,
             };
             if !named {
                 return false;
             }
         }
-        if let Some(file) = self.file {
+        if let Some(files) = &self.files {
             let named = match e.body {
-                EventBody::Open { file: f, .. } | EventBody::Delete { file: f, .. } => f == file,
+                EventBody::Open { file: f, .. } | EventBody::Delete { file: f, .. } => {
+                    files.contains(&f)
+                }
                 _ => false,
             };
             if !named {
@@ -204,16 +232,18 @@ impl Query {
         true
     }
 
-    /// Segment-level predicate: could any row under `zone` match? Must be
-    /// conservative — `true` when unsure.
-    pub(crate) fn admits(&self, zone: &ZoneMap) -> bool {
+    /// Segment-level predicate: could any row under `zone` match? Always
+    /// conservative — `true` when unsure, so pruning on it never drops a
+    /// matching row. Public so federating layers can account for pruning
+    /// across catalogs the same way [`Scan`] does within one.
+    pub fn admits(&self, zone: &ZoneMap) -> bool {
         if let Some((from, to)) = self.time {
             if zone.time.max < from || zone.time.min > to {
                 return false;
             }
         }
-        if let Some(node) = self.node {
-            if !zone.node.contains(node) {
+        if let Some(nodes) = &self.nodes {
+            if !nodes.iter().any(|&n| zone.node.contains(n)) {
                 return false;
             }
         }
@@ -222,15 +252,15 @@ impl Query {
                 return false;
             }
         }
-        if let Some(job) = self.job {
+        if let Some(jobs) = &self.jobs {
             match zone.jobs {
-                Some(bounds) if bounds.contains(job) => {}
+                Some(bounds) if jobs.iter().any(|&j| bounds.contains(j)) => {}
                 _ => return false,
             }
         }
-        if let Some(file) = self.file {
+        if let Some(files) = &self.files {
             match zone.files {
-                Some(bounds) if bounds.contains(file) => {}
+                Some(bounds) if files.iter().any(|&f| bounds.contains(f)) => {}
                 _ => return false,
             }
         }
@@ -238,19 +268,21 @@ impl Query {
     }
 }
 
-/// A prepared scan: a query bound to an archive, plus execution knobs.
+/// A prepared scan: a query bound to an [`ArchiveReader`]'s catalog, plus
+/// execution knobs. Obtained from [`ArchiveReader::query`] (or the
+/// [`Archive`](crate::Archive) wrapper's `query`).
 #[derive(Debug)]
 pub struct Scan<'a> {
-    archive: &'a Archive,
+    reader: &'a ArchiveReader,
     query: Query,
     workers: usize,
     metrics: Option<StoreMetrics>,
 }
 
 impl<'a> Scan<'a> {
-    pub(crate) fn new(archive: &'a Archive, query: Query) -> Self {
+    pub(crate) fn new(reader: &'a ArchiveReader, query: Query) -> Self {
         Scan {
-            archive,
+            reader,
             query,
             workers: 1,
             metrics: None,
@@ -278,16 +310,17 @@ impl<'a> Scan<'a> {
     /// prune on the zone map, decode and filter the survivors. Output
     /// order is segment order regardless of claim order.
     fn scan_segments(&self) -> Result<Vec<Vec<OrderedEvent>>, StoreError> {
-        let zones = self.archive.zones();
-        let admitted: Vec<usize> = (0..zones.len())
-            .filter(|&i| self.query.admits(&zones[i]))
+        let segments = self.reader.segments();
+        let admitted: Vec<usize> = (0..segments.len())
+            .filter(|&i| self.query.admits(segments[i].zone()))
             .collect();
         if let Some(m) = &self.metrics {
-            m.segments_pruned.add((zones.len() - admitted.len()) as u64);
+            m.segments_pruned
+                .add((segments.len() - admitted.len()) as u64);
             m.segments_scanned.add(admitted.len() as u64);
         }
 
-        let mut out: Vec<Vec<OrderedEvent>> = vec![Vec::new(); zones.len()];
+        let mut out: Vec<Vec<OrderedEvent>> = vec![Vec::new(); segments.len()];
         let workers = self.workers.min(admitted.len()).max(1);
         let cursor = AtomicUsize::new(0);
         let results: Mutex<Vec<(usize, Vec<OrderedEvent>)>> = Mutex::new(Vec::new());
@@ -304,7 +337,7 @@ impl<'a> Scan<'a> {
                         let Some(&seg) = admitted.get(claim) else {
                             break;
                         };
-                        match self.archive.decode_segment_at(seg) {
+                        match segments[seg].events() {
                             Ok(events) => {
                                 rows_scanned += events.len() as u64;
                                 let matched: Vec<OrderedEvent> = events
@@ -384,7 +417,7 @@ fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::archive::{write_archive, ArchiveMeta};
+    use crate::archive::{write_archive, Archive, ArchiveMeta};
     use charisma_trace::record::AccessKind;
 
     fn mk(us: u64, node: u16, body: EventBody) -> OrderedEvent {
@@ -465,6 +498,9 @@ mod tests {
             Query::all().job(1),
             Query::all().file(17),
             Query::all().node(3),
+            Query::all().jobs(&[0, 2]),
+            Query::all().files(&[17, 83, 999]),
+            Query::all().nodes(&[1, 5, 7]),
             Query::all().ops(OpSet::requests()),
             Query::all()
                 .time_window(SimTime::from_micros(100), SimTime::from_micros(9000))
@@ -472,7 +508,7 @@ mod tests {
                 .ops(OpSet::empty().with(OpClass::Write)),
         ];
         for q in queries {
-            let got = a.query(q).workers(3).events().expect("scans");
+            let got = a.query(q.clone()).workers(3).events().expect("scans");
             let want: Vec<OrderedEvent> = full.iter().filter(|e| q.matches(e)).copied().collect();
             assert_eq!(got, want, "query {q:?}");
         }
@@ -482,9 +518,12 @@ mod tests {
     fn worker_count_is_an_execution_detail() {
         let a = archive();
         let q = Query::all().time_window(SimTime::from_micros(1000), SimTime::from_micros(8000));
-        let serial = a.query(q).events().expect("scans");
+        let serial = a.query(q.clone()).events().expect("scans");
         for n in [2, 4, 8, 64] {
-            assert_eq!(a.query(q).workers(n).events().expect("scans"), serial);
+            assert_eq!(
+                a.query(q.clone()).workers(n).events().expect("scans"),
+                serial
+            );
         }
     }
 
@@ -529,10 +568,69 @@ mod tests {
     }
 
     #[test]
+    fn set_predicates_subsume_single_element_wrappers() {
+        let a = archive();
+        // Single-element wrappers are exactly the one-member sets.
+        assert_eq!(
+            a.query(Query::all().job(1)).events().expect("scans"),
+            a.query(Query::all().jobs(&[1])).events().expect("scans"),
+        );
+        assert_eq!(
+            a.query(Query::all().node(3)).events().expect("scans"),
+            a.query(Query::all().nodes(&[3])).events().expect("scans"),
+        );
+        // A set union matches the union of its members' matches.
+        let both = a.query(Query::all().jobs(&[0, 2])).events().expect("scans");
+        let j0 = a.query(Query::all().job(0)).events().expect("scans");
+        let j2 = a.query(Query::all().job(2)).events().expect("scans");
+        assert_eq!(both.len(), j0.len() + j2.len());
+        // Empty sets match nothing; later calls replace earlier predicates.
+        assert!(a
+            .query(Query::all().jobs(&[]))
+            .events()
+            .expect("scans")
+            .is_empty());
+        assert_eq!(
+            a.query(Query::all().jobs(&[999]).jobs(&[1]))
+                .events()
+                .expect("scans"),
+            a.query(Query::all().job(1)).events().expect("scans"),
+        );
+    }
+
+    #[test]
+    fn set_predicates_prune_by_any_member() {
+        use charisma_obs::MetricsRegistry;
+        let a = archive();
+        // Job 0 lives only in the first segment; adding an absent id (5)
+        // to the set must not block it, while segments whose bounds cover
+        // neither member are still pruned.
+        let registry = MetricsRegistry::new();
+        let got = a
+            .query(Query::all().jobs(&[0, 5]))
+            .attach_metrics(StoreMetrics::register(&registry))
+            .events()
+            .expect("scans");
+        assert!(!got.is_empty());
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["store.segments_pruned"], 2);
+        assert_eq!(snap.counters["store.segments_scanned"], 1);
+        // A set of absent ids prunes everything.
+        let registry = MetricsRegistry::new();
+        let got = a
+            .query(Query::all().files(&[7777, 8888]))
+            .attach_metrics(StoreMetrics::register(&registry))
+            .events()
+            .expect("scans");
+        assert!(got.is_empty());
+        assert_eq!(registry.snapshot().counters["store.segments_scanned"], 0);
+    }
+
+    #[test]
     fn report_matches_from_stream_on_the_same_subset() {
         let a = archive();
         let q = Query::all().time_window(SimTime::from_micros(0), SimTime::from_micros(5000));
-        let got = a.query(q).workers(4).report().expect("scans");
+        let got = a.query(q.clone()).workers(4).report().expect("scans");
         let want = Report::from_stream(stream().into_iter().filter(|e| q.matches(e)));
         assert_eq!(got.render(), want.render());
     }

@@ -278,9 +278,15 @@ fn event_from_row(row: &Row) -> Result<OrderedEvent, StoreError> {
     })
 }
 
-/// Accumulates rows until the segment is full, then encodes them.
+/// Append-only row accumulator: the *build* half of the build/serve split.
+///
+/// Push records in stream order, then [`seal`](SegmentBuilder::seal) the
+/// builder into an immutable [`SealedSegment`](crate::SealedSegment)
+/// handle. Builders are deliberately single-use and cheap — a service
+/// keeps one open builder per tenant and seals whenever it reaches
+/// [`SEGMENT_ROWS`].
 #[derive(Debug, Default)]
-pub(crate) struct SegmentBuilder {
+pub struct SegmentBuilder {
     rows: Vec<Row>,
     time: Option<Bounds<u64>>,
     node: Option<Bounds<u16>>,
@@ -290,7 +296,9 @@ pub(crate) struct SegmentBuilder {
 }
 
 impl SegmentBuilder {
-    pub(crate) fn push(&mut self, e: &OrderedEvent) {
+    /// Append one record. Records must arrive in stream order for the
+    /// canonical-bytes guarantee (the builder does not re-sort).
+    pub fn push(&mut self, e: &OrderedEvent) {
         let row = row_from_event(e);
         Bounds::observe(&mut self.time, row.time);
         Bounds::observe(&mut self.node, row.node);
@@ -308,12 +316,24 @@ impl SegmentBuilder {
         self.rows.push(row);
     }
 
-    pub(crate) fn len(&self) -> usize {
+    /// Rows accumulated so far.
+    pub fn len(&self) -> usize {
         self.rows.len()
     }
 
-    pub(crate) fn is_empty(&self) -> bool {
+    /// Whether no rows have been pushed yet.
+    pub fn is_empty(&self) -> bool {
         self.rows.is_empty()
+    }
+
+    /// Encode the accumulated rows and return an immutable
+    /// [`SealedSegment`](crate::SealedSegment) handle. Sealing is a pure
+    /// function of the pushed record sequence, so the same records always
+    /// seal to the same bytes regardless of when or where sealing happens.
+    pub fn seal(self) -> crate::SealedSegment {
+        let mut out = Vec::new();
+        let zone = self.finish(&mut out);
+        crate::SealedSegment::from_parts(bytes::Bytes::from(out), zone)
     }
 
     /// Encode the accumulated rows as one segment blob appended to `out`,

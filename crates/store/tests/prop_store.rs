@@ -73,12 +73,12 @@ fn arb_stream() -> impl Strategy<Value = Vec<OrderedEvent>> {
 fn arb_query() -> impl Strategy<Value = Query> {
     (
         proptest::option::of((0u64..100_000, 0u64..100_000)),
-        proptest::option::of(0u32..14),
-        proptest::option::of(0u32..26),
-        proptest::option::of(0u16..9),
+        proptest::option::of(proptest::collection::vec(0u32..14, 0..4)),
+        proptest::option::of(proptest::collection::vec(0u32..26, 0..4)),
+        proptest::option::of(proptest::collection::vec(0u16..9, 0..3)),
         proptest::option::of(0u8..128),
     )
-        .prop_map(|(time, job, file, node, ops)| {
+        .prop_map(|(time, jobs, files, nodes, ops)| {
             let mut q = Query::all();
             if let Some((a, b)) = time {
                 q = q.time_window(
@@ -86,14 +86,25 @@ fn arb_query() -> impl Strategy<Value = Query> {
                     SimTime::from_micros(a.max(b)),
                 );
             }
-            if let Some(job) = job {
-                q = q.job(job);
+            // Exercise both the set predicates and the single-element
+            // wrappers (a one-member set goes through the wrapper).
+            if let Some(jobs) = jobs {
+                q = match jobs.as_slice() {
+                    [one] => q.job(*one),
+                    set => q.jobs(set),
+                };
             }
-            if let Some(file) = file {
-                q = q.file(file);
+            if let Some(files) = files {
+                q = match files.as_slice() {
+                    [one] => q.file(*one),
+                    set => q.files(set),
+                };
             }
-            if let Some(node) = node {
-                q = q.node(node);
+            if let Some(nodes) = nodes {
+                q = match nodes.as_slice() {
+                    [one] => q.node(*one),
+                    set => q.nodes(set),
+                };
             }
             if let Some(bits) = ops {
                 let mut set = OpSet::empty();
@@ -177,7 +188,7 @@ proptest! {
     #[test]
     fn pruning_never_drops_a_match(events in arb_stream(), q in arb_query(), workers in 1usize..5) {
         let archive = Archive::from_bytes(write_archive(&events, META)).unwrap();
-        let got = archive.query(q).workers(workers).events().unwrap();
+        let got = archive.query(q.clone()).workers(workers).events().unwrap();
         let want: Vec<OrderedEvent> =
             events.iter().filter(|e| q.matches(e)).copied().collect();
         prop_assert_eq!(got, want);

@@ -57,7 +57,7 @@ fn archive_bytes(seed: u64, scale: f64, workers: usize) -> Result<Vec<u8>, chari
         .seed(seed)
         .scale(scale)
         .shards(workers)
-        .archive_in_memory()
+        .sink(charisma::ArchiveSink::Memory)
         .run()?;
     out.archive
         .ok_or(charisma::Error::Store(StoreError::Corrupt(
@@ -78,7 +78,7 @@ pub fn check_archive_gate(
     let out = Pipeline::new()
         .seed(seed)
         .scale(scale)
-        .archive_in_memory()
+        .sink(charisma::ArchiveSink::Memory)
         .run()?;
     let bytes = out
         .archive
@@ -141,7 +141,7 @@ pub fn check_archive_gate(
         );
         let registry = MetricsRegistry::new();
         let pruned = archive
-            .query(window)
+            .query(window.clone())
             .workers(workers)
             .attach_metrics(StoreMetrics::register(&registry))
             .events()?;

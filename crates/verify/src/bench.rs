@@ -12,8 +12,12 @@
 
 use std::time::Instant;
 
+use charisma::serve::{Service, ServiceConfig, TenantFeed};
 use charisma::store::{Archive, Query};
 use charisma::Pipeline;
+
+/// Tenants the federated-scan timing spreads the workload across.
+const BENCH_TENANTS: usize = 4;
 
 /// One perf record, rendered to `BENCH_N.json`.
 #[derive(Clone, Debug)]
@@ -34,6 +38,9 @@ pub struct BenchRecord {
     pub generate_records_per_sec: f64,
     /// Archive rows scanned per wall-clock second (all-pass query).
     pub scan_rows_per_sec: f64,
+    /// Rows returned per wall-clock second by a federated all-pass scan
+    /// over a 4-tenant archive service holding the same workload.
+    pub federated_scan_rows_per_sec: f64,
 }
 
 impl BenchRecord {
@@ -42,7 +49,8 @@ impl BenchRecord {
         format!(
             "{{\n  \"pr\": {pr},\n  \"seed\": {},\n  \"scale\": {},\n  \"workers\": {},\n  \
              \"records\": {},\n  \"archive_bytes\": {},\n  \"bytes_per_record\": {:.2},\n  \
-             \"generate_records_per_sec\": {:.0},\n  \"scan_rows_per_sec\": {:.0}\n}}\n",
+             \"generate_records_per_sec\": {:.0},\n  \"scan_rows_per_sec\": {:.0},\n  \
+             \"federated_scan_rows_per_sec\": {:.0}\n}}\n",
             self.seed,
             self.scale,
             self.workers,
@@ -51,6 +59,7 @@ impl BenchRecord {
             self.bytes_per_record,
             self.generate_records_per_sec,
             self.scan_rows_per_sec,
+            self.federated_scan_rows_per_sec,
         )
     }
 }
@@ -63,7 +72,7 @@ pub fn run_bench(seed: u64, scale: f64, workers: usize) -> Result<BenchRecord, S
         .seed(seed)
         .scale(scale)
         .shards(workers)
-        .archive_in_memory()
+        .sink(charisma::ArchiveSink::Memory)
         .run()
         .map_err(|e| format!("pipeline error: {e}"))?;
     let gen_secs = gen_start.elapsed().as_secs_f64().max(1e-9);
@@ -89,6 +98,43 @@ pub fn run_bench(seed: u64, scale: f64, workers: usize) -> Result<BenchRecord, S
         ));
     }
 
+    // Federated scan: the same workload spread across BENCH_TENANTS
+    // tenants of an archive service, one all-pass fan-out.
+    let service = Service::new(ServiceConfig {
+        seed,
+        scale,
+        tenants: BENCH_TENANTS,
+        ..ServiceConfig::default()
+    });
+    let mut streams = vec![Vec::new(); BENCH_TENANTS];
+    for (i, e) in out.events.iter().enumerate() {
+        streams[i % BENCH_TENANTS].push(*e);
+    }
+    let feeds: Vec<TenantFeed> = streams
+        .into_iter()
+        .enumerate()
+        .map(|(tenant, events)| TenantFeed {
+            tenant,
+            batches: events.chunks(4096).map(<[_]>::to_vec).collect(),
+        })
+        .collect();
+    service
+        .run_ingest(&feeds, workers, 0)
+        .map_err(|e| format!("serve ingest error: {e}"))?;
+    let fed_start = Instant::now();
+    let fed = service
+        .federated(Query::all())
+        .workers(workers)
+        .events()
+        .map_err(|e| format!("federated scan error: {e}"))?;
+    let fed_secs = fed_start.elapsed().as_secs_f64().max(1e-9);
+    if fed.len() as u64 != records {
+        return Err(format!(
+            "federated scan returned {} rows for {records} generated records",
+            fed.len()
+        ));
+    }
+
     Ok(BenchRecord {
         seed,
         scale,
@@ -98,6 +144,7 @@ pub fn run_bench(seed: u64, scale: f64, workers: usize) -> Result<BenchRecord, S
         bytes_per_record: archive_bytes as f64 / (records.max(1)) as f64,
         generate_records_per_sec: records as f64 / gen_secs,
         scan_rows_per_sec: rows as f64 / scan_secs,
+        federated_scan_rows_per_sec: records as f64 / fed_secs,
     })
 }
 
@@ -111,8 +158,10 @@ mod tests {
         assert!(rec.records > 0);
         assert!(rec.archive_bytes > 0);
         assert!(rec.bytes_per_record > 0.0);
-        let json = rec.to_json(6);
-        assert!(json.contains("\"pr\": 6"));
+        assert!(rec.federated_scan_rows_per_sec > 0.0);
+        let json = rec.to_json(7);
+        assert!(json.contains("\"pr\": 7"));
         assert!(json.contains("\"records\": "));
+        assert!(json.contains("\"federated_scan_rows_per_sec\": "));
     }
 }

@@ -31,6 +31,11 @@
 //!   are canonical (worker-count invariant and pinned by a hash fixture),
 //!   the archive round-trips the merged stream exactly, and zone-map
 //!   pruning skips segments without changing any query result.
+//! - [`serve`] — the archive-service gate: every `(ingest workers,
+//!   interleave seed)` schedule publishes byte-identical per-tenant
+//!   catalogs, mid-ingest snapshots replay exactly their pinned prefix,
+//!   federated scans match the concat-and-stable-sort oracle, and the
+//!   pipeline's serve sink matches its memory sink byte for byte.
 //!
 //! - [`bench`] — the perf-trajectory record: one run of the pinned
 //!   pipeline, wall-clock timed, rendered as the `BENCH_N.json` breadcrumb
@@ -47,6 +52,7 @@ pub mod determinism;
 pub mod lex;
 pub mod lint;
 pub mod metrics;
+pub mod serve;
 
 /// Whether this build of the verifier carries the workspace's runtime
 /// `invariant!` assertions. The CI chaos job builds with
@@ -67,3 +73,4 @@ pub use determinism::{
 };
 pub use lint::{findings_to_json, lint_workspace, Finding, LintConfig, Rule};
 pub use metrics::{check_metrics_shard_equivalence, core_metrics_json, diff_json, JsonDiff};
+pub use serve::{check_serve_gate, ServeGateReport};

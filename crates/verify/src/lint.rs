@@ -210,30 +210,34 @@ impl FileScope {
 }
 
 /// Crates whose trace output must be hash-order free (`CH001`/`CH002`/`CH008`).
-/// `store` is held to every rule: its canonical-bytes promise dies the
-/// moment any encoding iterates a hash map or reads a clock.
-const SIM_CRATES: &[&str] = &["ipsc", "cfs", "cachesim", "trace", "obs", "store"];
+/// `store` and `serve` are held to every rule: their canonical-bytes
+/// promise dies the moment any encoding iterates a hash map or reads a
+/// clock.
+const SIM_CRATES: &[&str] = &["ipsc", "cfs", "cachesim", "trace", "obs", "store", "serve"];
 /// Crates whose library code must not panic (`CH003`).
-const NO_PANIC_CRATES: &[&str] = &["ipsc", "cfs", "trace", "obs", "store"];
+const NO_PANIC_CRATES: &[&str] = &["ipsc", "cfs", "trace", "obs", "store", "serve"];
 /// `CH004` additionally covers the workload generator: its randomness must
 /// be seeded too. `obs` is deliberately absent: span timings legitimately
 /// read the monotonic clock, and the snapshot quarantines them in its
 /// nondeterministic section instead.
-const SEEDED_RNG_CRATES: &[&str] = &["ipsc", "cfs", "cachesim", "trace", "workload", "store"];
+const SEEDED_RNG_CRATES: &[&str] = &[
+    "ipsc", "cfs", "cachesim", "trace", "workload", "store", "serve",
+];
 /// `CH006` (no `unsafe`) covers every crate that touches the pipeline,
 /// workload generator included.
 const NO_UNSAFE_CRATES: &[&str] = &[
-    "ipsc", "cfs", "cachesim", "trace", "obs", "store", "workload",
+    "ipsc", "cfs", "cachesim", "trace", "obs", "store", "workload", "serve",
 ];
 /// `CH007` (sanctioned concurrency only). `obs` is exempt: the metrics
 /// registry is interior-mutable (`Mutex<BTreeMap<..>>`) by design, and its
 /// determinism is proven by the snapshot merge gates, not by construction.
-const SCOPED_CONCURRENCY_CRATES: &[&str] =
-    &["ipsc", "cfs", "cachesim", "trace", "workload", "store"];
+const SCOPED_CONCURRENCY_CRATES: &[&str] = &[
+    "ipsc", "cfs", "cachesim", "trace", "workload", "store", "serve",
+];
 /// Crates whose metric registrations are pinned by the snapshot fixtures
 /// (`CH010`).
 const METRIC_CRATES: &[&str] = &[
-    "ipsc", "cfs", "cachesim", "trace", "obs", "store", "workload",
+    "ipsc", "cfs", "cachesim", "trace", "obs", "store", "workload", "serve",
 ];
 
 /// Scope for a file at `rel` (workspace-relative, `/`-separated).
@@ -254,7 +258,7 @@ pub fn scope_for(rel: &str) -> FileScope {
     scope.ch002 = SIM_CRATES.contains(&krate) && rel != "crates/ipsc/src/time.rs";
     scope.ch003 = NO_PANIC_CRATES.contains(&krate);
     scope.ch004 = SEEDED_RNG_CRATES.contains(&krate);
-    scope.ch005 = krate == "store";
+    scope.ch005 = matches!(krate, "store" | "serve");
     scope.ch006 = NO_UNSAFE_CRATES.contains(&krate);
     scope.ch007 = SCOPED_CONCURRENCY_CRATES.contains(&krate);
     scope.ch008 = SIM_CRATES.contains(&krate);

@@ -9,6 +9,7 @@
 //!                       [--fixture PATH] [--plan PATH] [--write]
 //! charisma-verify archive [--seed N] [--scale F] [--workers N]
 //!                         [--fixture PATH] [--write]
+//! charisma-verify serve [--seed N] [--scale F] [--tenants N]
 //! charisma-verify bench [--seed N] [--scale F] [--workers N]
 //!                       [--pr N] [--out PATH]
 //! ```
@@ -28,6 +29,13 @@
 //! invariant, the fault counters must show the chaos machinery engaged,
 //! and the chaos metrics core must match its own fixture.
 //!
+//! The serve check proves the multi-tenant archive service keeps those
+//! promises live: per-tenant catalog bytes identical across every ingest
+//! worker count and interleave seed, mid-ingest snapshots equal to serial
+//! replays of their pinned prefix, federated scans equal to the
+//! concat-and-stable-sort oracle, and pipeline serve-sink bytes equal to
+//! the memory-sink container.
+//!
 //! The archive check proves the columnar trace archive's three promises:
 //! canonical bytes (worker-count invariant and matching the checked-in
 //! hash fixture), exact round trip (all-pass query ≡ in-memory stream and
@@ -44,9 +52,9 @@ use std::process::ExitCode;
 use charisma_verify::{
     archive_fixture_line, chaos_metrics_json, chaos_plan, check_archive_gate,
     check_chaos_determinism, check_chaos_shard_equivalence, check_fault_activity,
-    check_metrics_shard_equivalence, check_pipeline_determinism, check_shard_equivalence,
-    check_sharded_determinism, core_metrics_json, diff_json, diff_plan, findings_to_json,
-    lint_workspace, run_bench, LintConfig,
+    check_metrics_shard_equivalence, check_pipeline_determinism, check_serve_gate,
+    check_shard_equivalence, check_sharded_determinism, core_metrics_json, diff_json, diff_plan,
+    findings_to_json, lint_workspace, run_bench, LintConfig,
 };
 
 fn usage() -> ExitCode {
@@ -73,6 +81,11 @@ fn usage() -> ExitCode {
                         count invariant, hash fixture), round-trips exactly, and\n\
                         prunes without changing results; --write regenerates\n\
                         the hash fixture\n\
+           serve        [--seed N] [--scale F] [--tenants N]\n\
+                        prove the multi-tenant archive service publishes\n\
+                        byte-identical catalogs under every ingest schedule,\n\
+                        snapshots replay exactly their pinned prefix, and\n\
+                        federated scans match the concat-and-sort oracle\n\
            bench        [--seed N] [--scale F] [--workers N] [--pr N] [--out PATH]\n\
                         run the pinned pipeline once, time generation and a\n\
                         full-archive scan, and print (or write) a BENCH_N.json\n\
@@ -89,6 +102,7 @@ fn main() -> ExitCode {
         Some("metrics") => run_metrics(&args[1..]),
         Some("chaos") => run_chaos(&args[1..]),
         Some("archive") => run_archive(&args[1..]),
+        Some("serve") => run_serve(&args[1..]),
         Some("bench") => run_bench_cmd(&args[1..]),
         _ => usage(),
     }
@@ -584,6 +598,56 @@ fn run_archive(args: &[String]) -> ExitCode {
     print!(
         "archive hash matches the fixture:\n  {}",
         report.fixture_line
+    );
+    ExitCode::SUCCESS
+}
+
+fn run_serve(args: &[String]) -> ExitCode {
+    let (seed, scale, tenants) = match (
+        parsed_flag(args, "--seed", 4994u64),
+        parsed_flag(args, "--scale", 0.05f64),
+        parsed_flag(args, "--tenants", 4usize),
+    ) {
+        (Ok(seed), Ok(scale), Ok(tenants)) => (seed, scale, tenants),
+        (Err(e), _, _) | (_, Err(e), _) | (_, _, Err(e)) => {
+            eprintln!("charisma-verify serve: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    println!(
+        "charisma-verify serve: seed={seed} scale={scale} tenants={tenants}, \
+         ingesting under every (workers × interleave) schedule..."
+    );
+    let report = match check_serve_gate(seed, scale, tenants) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("charisma-verify serve: pipeline error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if !report.complaints.is_empty() {
+        for c in &report.complaints {
+            println!("  {c}");
+        }
+        println!(
+            "serve GATE FAILED: {} complaint(s)",
+            report.complaints.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    let hashes: Vec<String> = report
+        .catalog_hashes
+        .iter()
+        .map(|h| format!("{h:#018x}"))
+        .collect();
+    println!(
+        "serve gate passed: {} rows across {} tenants, catalogs schedule-\
+         invariant, snapshots prefix-exact, federation matches the oracle\n  \
+         catalog fnv1a: {}",
+        report.rows,
+        report.tenants,
+        hashes.join(" ")
     );
     ExitCode::SUCCESS
 }

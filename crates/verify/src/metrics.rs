@@ -21,6 +21,9 @@
 //!
 //! [`MetricsSnapshot::to_core_json`]: charisma::obs::MetricsSnapshot::to_core_json
 
+use charisma::obs::MetricsRegistry;
+use charisma::serve::{ServeMetrics, Service, ServiceConfig, TenantFeed};
+use charisma::store::Query;
 use charisma::Pipeline;
 
 /// One line-level disagreement between fixture and observed core JSON.
@@ -57,14 +60,46 @@ impl std::fmt::Display for JsonDiff {
 /// counters (segments/rows/bytes written, plus the zero-valued scan-side
 /// counters) are part of the pinned namespace — an encoding change that
 /// moves `store.bytes_written` fails this gate, not just the archive one.
+///
+/// The merged stream is then pushed through a small `charisma-serve`
+/// exercise (two tenants, one federated scan) so the `serve.*` counters
+/// are pinned too. Serve counters are per-tenant deterministic sums, so
+/// the exercise — like everything else in the core — is a pure function
+/// of `(seed, scale)` and independent of `workers`.
 pub fn core_metrics_json(seed: u64, scale: f64, workers: usize) -> Result<String, charisma::Error> {
     let out = Pipeline::new()
         .seed(seed)
         .scale(scale)
         .shards(workers)
-        .archive_in_memory()
+        .sink(charisma::ArchiveSink::Memory)
         .run()?;
-    Ok(out.metrics.to_core_json())
+
+    let registry = MetricsRegistry::new();
+    let mut service = Service::new(ServiceConfig {
+        seed,
+        scale,
+        tenants: 2,
+        ..ServiceConfig::default()
+    });
+    service.attach_metrics(ServeMetrics::register(&registry));
+    let mut streams = vec![Vec::new(); 2];
+    for (i, e) in out.events.iter().enumerate() {
+        streams[i % 2].push(*e);
+    }
+    let feeds: Vec<TenantFeed> = streams
+        .into_iter()
+        .enumerate()
+        .map(|(tenant, events)| TenantFeed {
+            tenant,
+            batches: events.chunks(512).map(<[_]>::to_vec).collect(),
+        })
+        .collect();
+    service.run_ingest(&feeds, 2, 0)?;
+    service.federated(Query::all()).workers(2).events()?;
+
+    let mut metrics = out.metrics;
+    metrics.merge(&registry.snapshot());
+    Ok(metrics.to_core_json())
 }
 
 /// Line-by-line diff of two JSON documents, fixture first.

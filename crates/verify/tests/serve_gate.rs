@@ -1,0 +1,21 @@
+//! The archive-service gate as a test, at the seed/scale/tenant-count CI
+//! uses: catalogs must be byte-identical under every (ingest workers ×
+//! interleave seed) schedule, mid-ingest snapshots must replay exactly
+//! their pinned prefix, federated scans must match the
+//! concat-and-stable-sort oracle, and the pipeline's serve sink must
+//! publish the same bytes as its memory sink.
+
+use charisma_verify::check_serve_gate;
+
+#[test]
+fn gate_holds_at_ci_scale() {
+    let report = check_serve_gate(4994, 0.05, 4).expect("pipeline runs");
+    assert!(
+        report.complaints.is_empty(),
+        "serve gate violations: {:?}",
+        report.complaints
+    );
+    assert_eq!(report.tenants, 4);
+    assert_eq!(report.catalog_hashes.len(), 4);
+    assert!(report.rows > 10_000);
+}

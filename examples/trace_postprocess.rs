@@ -25,7 +25,7 @@ fn main() -> Result<(), charisma::Error> {
         .scale(0.02)
         .seed(4994)
         .shards(2)
-        .archive(path)
+        .sink(ArchiveSink::Path(path.into()))
         .run()?;
 
     // `PipelineOutput` keeps the raw pre-rectification traces, one per

@@ -11,6 +11,127 @@
 //! carries [`BufMut::put_varint_u64`] and the `try_get_*` family on
 //! [`Buf`]. Per the ROADMAP, shims are extended in place rather than
 //! pulling in registry crates.
+//!
+//! The shim also provides [`Bytes`]: an immutable, cheaply-cloneable byte
+//! buffer with shared (`Arc`-backed) ownership and zero-copy
+//! [`Bytes::slice`], matching the upstream type's core semantics. The
+//! store's sealed-segment handles are built on it: any number of readers
+//! can hold views into one archive allocation without copying a byte.
+
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::Arc;
+
+/// An immutable, reference-counted byte buffer.
+///
+/// Cloning is O(1) (an `Arc` bump); [`Bytes::slice`] produces a new handle
+/// onto the same allocation. Dereferences to `&[u8]`, so anything that
+/// reads slices — including [`Buf`] on `&[u8]` — works on a view of it.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// The empty buffer (no allocation is shared).
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Copy `data` into a fresh shared buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes::from(data.to_vec())
+    }
+
+    /// Bytes in this view.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// A new handle onto the sub-range `range` of this view, sharing the
+    /// same allocation. Panics if the range is out of bounds or inverted,
+    /// matching upstream and slice-indexing semantics.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let len = self.len();
+        let begin = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => len,
+        };
+        assert!(
+            begin <= end && end <= len,
+            "slice {begin}..{end} out of bounds of {len}-byte Bytes"
+        );
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + begin,
+            end: self.start + end,
+        }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let data: Arc<[u8]> = v.into();
+        let end = data.len();
+        Bytes {
+            data,
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({} bytes)", self.len())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self[..] == *other
+    }
+}
 
 /// Read cursor over a byte source.
 pub trait Buf {
@@ -173,6 +294,36 @@ impl BufMut for Vec<u8> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bytes_clone_and_slice_share_one_allocation() {
+        let b = Bytes::from(vec![1u8, 2, 3, 4, 5, 6]);
+        let c = b.clone();
+        assert_eq!(b, c);
+        assert!(std::ptr::eq(b.as_ref().as_ptr(), c.as_ref().as_ptr()));
+        let mid = b.slice(2..5);
+        assert_eq!(&mid[..], &[3, 4, 5]);
+        assert!(std::ptr::eq(mid.as_ref().as_ptr(), &b.as_ref()[2]));
+        let tail = mid.slice(1..);
+        assert_eq!(&tail[..], &[4, 5]);
+        let empty = b.slice(6..6);
+        assert!(empty.is_empty());
+        assert_eq!(Bytes::new().len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn bytes_slice_out_of_bounds_panics() {
+        let b = Bytes::from(vec![1u8, 2, 3]);
+        let _ = b.slice(1..5);
+    }
+
+    #[test]
+    fn bytes_reads_through_buf() {
+        let b = Bytes::from(vec![7u8, 0, 0, 0]);
+        let mut view: &[u8] = &b;
+        assert_eq!(view.try_get_u32_le(), Some(7));
+    }
 
     #[test]
     fn round_trip_all_widths() {

@@ -9,6 +9,7 @@
 use std::fmt;
 
 use charisma_cfs::CfsError;
+use charisma_serve::ServeError;
 use charisma_store::StoreError;
 use charisma_trace::codec::DecodeError;
 use charisma_trace::file::TraceFileError;
@@ -32,6 +33,8 @@ pub enum Error {
     ShardFailed(ShardFailure),
     /// A columnar trace archive could not be written, opened, or scanned.
     Store(StoreError),
+    /// The archive service rejected or failed a serve-sink ingest.
+    Serve(ServeError),
 }
 
 impl fmt::Display for Error {
@@ -48,6 +51,7 @@ impl fmt::Display for Error {
             Error::Decode(e) => write!(f, "trace decode error: {e}"),
             Error::ShardFailed(e) => write!(f, "{e}"),
             Error::Store(e) => write!(f, "trace archive error: {e}"),
+            Error::Serve(e) => write!(f, "archive service error: {e}"),
         }
     }
 }
@@ -59,6 +63,7 @@ impl std::error::Error for Error {
             Error::TraceFile(e) => Some(e),
             Error::ShardFailed(e) => Some(e),
             Error::Store(e) => Some(e),
+            Error::Serve(e) => Some(e),
             Error::InvalidScale(_) | Error::InvalidShards(_) | Error::Decode(_) => None,
         }
     }
@@ -91,6 +96,12 @@ impl From<ShardFailure> for Error {
 impl From<StoreError> for Error {
     fn from(e: StoreError) -> Self {
         Error::Store(e)
+    }
+}
+
+impl From<ServeError> for Error {
+    fn from(e: ServeError) -> Self {
+        Error::Serve(e)
     }
 }
 

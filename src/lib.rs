@@ -50,8 +50,16 @@
 //! * [`cachesim`] — the trace-driven cache simulations (Figures 8-9 and
 //!   the combined experiment);
 //! * [`store`] — the indexed columnar trace archive and its parallel
-//!   predicate-pushdown query engine (`.archive(path)` on the pipeline,
-//!   [`store::Archive::open`] to reopen and query);
+//!   predicate-pushdown query engine (`.sink(ArchiveSink::Path(…))` on
+//!   the pipeline, [`store::Archive::open`] to reopen and query), now
+//!   split into an append-only build side ([`store::SegmentBuilder`] →
+//!   [`store::SealedSegment`]) and a read-only serve side
+//!   ([`store::ArchiveReader`]);
+//! * [`serve`] — the multi-tenant archive service over that split:
+//!   bounded-queue ingest with deterministic admission, snapshot-isolated
+//!   catalogs, and federated cross-tenant queries
+//!   (`.sink(ArchiveSink::Serve(…))` plugs a pipeline run in as one
+//!   tenant);
 //! * [`obs`] — the deterministic observability layer: counters, gauges,
 //!   log2 histograms, span timings, and profiling probes, surfaced as
 //!   [`PipelineOutput::metrics`].
@@ -70,6 +78,7 @@ pub use charisma_cfs as cfs;
 pub use charisma_core as core;
 pub use charisma_ipsc as ipsc;
 pub use charisma_obs as obs;
+pub use charisma_serve as serve;
 pub use charisma_store as store;
 pub use charisma_trace as trace;
 pub use charisma_workload as workload;
@@ -78,12 +87,12 @@ mod error;
 mod pipeline;
 
 pub use error::Error;
-pub use pipeline::{Pipeline, PipelineOutput};
+pub use pipeline::{ArchiveSink, Pipeline, PipelineOutput, ServeSink};
 
 /// The commonly used types and entry points in one import.
 pub mod prelude {
     pub use crate::error::Error;
-    pub use crate::pipeline::{Pipeline, PipelineOutput};
+    pub use crate::pipeline::{ArchiveSink, Pipeline, PipelineOutput, ServeSink};
     pub use charisma_cachesim::{
         combined_simulation, compute_cache_sim, io_cache_sim, Policy, SessionIndex,
     };
@@ -92,7 +101,13 @@ pub mod prelude {
     pub use charisma_core::{analyze, Characterization};
     pub use charisma_ipsc::{FaultPlan, IoNodeDown, Machine, MachineConfig, RetryPolicy, SimTime};
     pub use charisma_obs::{MetricsRegistry, MetricsSnapshot, NoopProbe, Probe};
-    pub use charisma_store::{Archive, ArchiveMeta, OpClass, OpSet, Query, StoreError};
+    pub use charisma_serve::{
+        FederatedQuery, ServeError, Service, ServiceConfig, Snapshot, TenantFeed,
+    };
+    pub use charisma_store::{
+        Archive, ArchiveMeta, ArchiveReader, OpClass, OpSet, Query, SealedSegment, SegmentBuilder,
+        StoreError,
+    };
     pub use charisma_trace::{postprocess, OrderedEvent, Trace};
     pub use charisma_workload::{generate, GeneratorConfig};
 }

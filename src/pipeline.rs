@@ -26,6 +26,7 @@ use charisma_cfs::CfsConfig;
 use charisma_core::report::Report;
 use charisma_ipsc::{FaultPlan, MachineConfig};
 use charisma_obs::{MetricsRegistry, MetricsSnapshot, Probe};
+use charisma_serve::{ServeError, Service};
 use charisma_store::{ArchiveMeta, ArchiveWriter, StoreError, StoreMetrics};
 use charisma_trace::{MergeMetrics, OrderedEvent};
 use charisma_workload::shard::try_generate_sharded;
@@ -34,12 +35,81 @@ use charisma_workload::{GeneratorConfig, ShardedWorkload};
 use crate::error::Error;
 
 /// Where [`Pipeline::run`] should deliver the columnar trace archive.
+/// Passed to [`Pipeline::sink`].
 #[derive(Clone, Debug)]
-enum ArchiveSink {
+pub enum ArchiveSink {
     /// Write the archive file at this path (bytes also kept in the output).
     Path(PathBuf),
     /// Keep the archive bytes in [`PipelineOutput::archive`] only.
     Memory,
+    /// Stream the merged events into one tenant of a shared
+    /// [`charisma_serve::Service`] — the run becomes one site publishing
+    /// into a long-lived multi-tenant archive service instead of writing
+    /// its own container. See [`ServeSink`].
+    Serve(ServeSink),
+}
+
+/// The serve half of [`ArchiveSink::Serve`]: which [`Service`] tenant
+/// receives the merged stream, and how many rows ride in each submitted
+/// batch.
+///
+/// The pipeline submits batches during its single merge pass, flushes the
+/// tenant at the end, and stores the tenant's published catalog bytes in
+/// [`PipelineOutput::archive`]. Those bytes carry the *service's*
+/// `(seed, scale)` metadata — configure the [`ServiceConfig`] to match
+/// the pipeline when byte-parity with a [`ArchiveSink::Memory`] run
+/// matters.
+///
+/// [`ServiceConfig`]: charisma_serve::ServiceConfig
+#[derive(Clone, Debug)]
+pub struct ServeSink {
+    service: Arc<Service>,
+    tenant: usize,
+    batch_rows: usize,
+}
+
+impl ServeSink {
+    /// Target `tenant` of `service`, with the default 512-row batches.
+    pub fn new(service: Arc<Service>, tenant: usize) -> Self {
+        ServeSink {
+            service,
+            tenant,
+            batch_rows: 512,
+        }
+    }
+
+    /// Rows per submitted ingest batch (default 512; clamped to ≥ 1).
+    /// Purely an ingest-granularity knob: published bytes are identical
+    /// for every value.
+    #[must_use]
+    pub fn batch_rows(mut self, rows: usize) -> Self {
+        self.batch_rows = rows.max(1);
+        self
+    }
+
+    /// The shared service this sink publishes into.
+    pub fn service(&self) -> &Arc<Service> {
+        &self.service
+    }
+
+    /// The tenant index this sink publishes to.
+    pub fn tenant(&self) -> usize {
+        self.tenant
+    }
+}
+
+/// Live per-sink state during the merge pass of [`Pipeline::run`].
+enum SinkState {
+    /// Path/Memory: encode into an in-process [`ArchiveWriter`].
+    Writer(ArchiveWriter),
+    /// Serve: buffer rows and submit batches to the service; the first
+    /// ingest error is parked here and surfaced after the pass (the
+    /// analysis stream cannot carry a `Result` mid-flight).
+    Serve {
+        sink: ServeSink,
+        buf: Vec<OrderedEvent>,
+        error: Option<ServeError>,
+    },
 }
 
 /// Builder for one end-to-end run of the reproduction.
@@ -159,23 +229,31 @@ impl Pipeline {
         self
     }
 
-    /// Also write the merged trace as a [`charisma_store`] columnar
-    /// archive at `path`. The archive is fed from the same single merge
-    /// pass as the analysis and is byte-identical for every `shards(n)`
-    /// worker count (the `charisma-verify archive` gate pins this). The
-    /// bytes are also kept in [`PipelineOutput::archive`].
+    /// Also deliver the merged trace as a [`charisma_store`] columnar
+    /// archive to `sink` — a file path, in-memory bytes, or a tenant of a
+    /// shared [`charisma_serve::Service`]. The archive is fed from the
+    /// same single merge pass as the analysis and is byte-identical for
+    /// every `shards(n)` worker count (the `charisma-verify archive` gate
+    /// pins this). The bytes are also kept in
+    /// [`PipelineOutput::archive`].
     #[must_use]
-    pub fn archive(mut self, path: impl Into<PathBuf>) -> Self {
-        self.archive = Some(ArchiveSink::Path(path.into()));
+    pub fn sink(mut self, sink: ArchiveSink) -> Self {
+        self.archive = Some(sink);
         self
     }
 
-    /// Like [`Self::archive`], but keep the archive bytes only in
-    /// [`PipelineOutput::archive`] — nothing touches the filesystem.
+    /// Write the archive file at `path`.
+    #[deprecated(since = "0.1.0", note = "use `sink(ArchiveSink::Path(path.into()))`")]
     #[must_use]
-    pub fn archive_in_memory(mut self) -> Self {
-        self.archive = Some(ArchiveSink::Memory);
-        self
+    pub fn archive(self, path: impl Into<PathBuf>) -> Self {
+        self.sink(ArchiveSink::Path(path.into()))
+    }
+
+    /// Keep the archive bytes only in [`PipelineOutput::archive`].
+    #[deprecated(since = "0.1.0", note = "use `sink(ArchiveSink::Memory)`")]
+    #[must_use]
+    pub fn archive_in_memory(self) -> Self {
+        self.sink(ArchiveSink::Memory)
     }
 
     /// Run the pipeline: generate the sharded workload, rectify and merge
@@ -207,32 +285,62 @@ impl Pipeline {
             try_generate_sharded(&config, self.shards)?
         };
         let mut events = Vec::with_capacity(workload.event_count());
-        let mut writer = self.archive.as_ref().map(|_| {
-            let mut w = ArchiveWriter::new(ArchiveMeta {
-                seed: self.seed,
-                scale: self.scale,
-            });
-            w.attach_metrics(StoreMetrics::register(&registry));
-            w
-        });
+        let mut sink_state = match &self.archive {
+            None => None,
+            Some(ArchiveSink::Path(_) | ArchiveSink::Memory) => {
+                let mut w = ArchiveWriter::new(ArchiveMeta {
+                    seed: self.seed,
+                    scale: self.scale,
+                });
+                w.attach_metrics(StoreMetrics::register(&registry));
+                Some(SinkState::Writer(w))
+            }
+            Some(ArchiveSink::Serve(sink)) => Some(SinkState::Serve {
+                sink: sink.clone(),
+                buf: Vec::with_capacity(sink.batch_rows),
+                error: None,
+            }),
+        };
         let report = {
             let _analyze = registry.span("pipeline.analyze");
             let mut merged = workload.merged_events();
             merged.attach_metrics(MergeMetrics::register(&registry));
             Report::from_stream(merged.inspect(|e| {
                 events.push(*e);
-                if let Some(w) = writer.as_mut() {
-                    w.push(e);
+                match &mut sink_state {
+                    Some(SinkState::Writer(w)) => w.push(e),
+                    Some(SinkState::Serve { sink, buf, error }) if error.is_none() => {
+                        buf.push(*e);
+                        if buf.len() >= sink.batch_rows {
+                            if let Err(err) = sink.service.submit(sink.tenant, buf) {
+                                *error = Some(err);
+                            }
+                            buf.clear();
+                        }
+                    }
+                    // No sink, or a serve sink already parked on its
+                    // first error: nothing further to buffer.
+                    _ => {}
                 }
             }))
         };
-        let archive = match (writer, &self.archive) {
-            (Some(w), Some(sink)) => {
+        let archive = match (sink_state, &self.archive) {
+            (Some(SinkState::Writer(w)), Some(sink)) => {
                 let bytes = w.finish();
                 if let ArchiveSink::Path(path) = sink {
                     std::fs::write(path, &bytes).map_err(StoreError::Io)?;
                 }
                 Some(bytes)
+            }
+            (Some(SinkState::Serve { sink, buf, error }), _) => {
+                if let Some(err) = error {
+                    return Err(Error::Serve(err));
+                }
+                if !buf.is_empty() {
+                    sink.service.submit(sink.tenant, &buf)?;
+                }
+                sink.service.flush(sink.tenant)?;
+                Some(sink.service.snapshot(sink.tenant)?.to_bytes())
             }
             _ => None,
         };
@@ -272,9 +380,10 @@ pub struct PipelineOutput {
     /// pipeline's own span timings and throughput rate (wall-clock, kept
     /// under the snapshot's `nondeterministic` section).
     pub metrics: MetricsSnapshot,
-    /// The columnar trace archive bytes, when an archive sink was
-    /// configured via [`Pipeline::archive`] or
-    /// [`Pipeline::archive_in_memory`]. Reopen with
+    /// The columnar trace archive bytes, when an [`ArchiveSink`] was
+    /// configured via [`Pipeline::sink`]. For a [`ArchiveSink::Serve`]
+    /// sink these are the tenant's published catalog bytes (under the
+    /// service's metadata). Reopen with
     /// [`charisma_store::Archive::from_bytes`] (or `Archive::open` for a
     /// path sink) and query any subset.
     pub archive: Option<Vec<u8>>,
@@ -379,7 +488,7 @@ mod tests {
         let out = Pipeline::new()
             .scale(0.01)
             .shards(2)
-            .archive_in_memory()
+            .sink(ArchiveSink::Memory)
             .run()
             .expect("runs");
         let bytes = out.archive.as_deref().expect("archive bytes present");
@@ -412,16 +521,93 @@ mod tests {
     fn archive_bytes_are_worker_invariant() {
         let a = Pipeline::new()
             .scale(0.01)
-            .archive_in_memory()
+            .sink(ArchiveSink::Memory)
             .run()
             .expect("runs");
         let b = Pipeline::new()
             .scale(0.01)
             .shards(4)
-            .archive_in_memory()
+            .sink(ArchiveSink::Memory)
             .run()
             .expect("runs");
         assert_eq!(a.archive, b.archive);
+    }
+
+    #[test]
+    fn serve_sink_publishes_the_same_bytes_as_the_memory_sink() {
+        use charisma_serve::{Service, ServiceConfig};
+
+        let mem = Pipeline::new()
+            .scale(0.01)
+            .sink(ArchiveSink::Memory)
+            .run()
+            .expect("runs");
+        // Service metadata matches the pipeline, so the tenant's catalog
+        // is byte-identical to the self-written container.
+        let service = Arc::new(Service::new(ServiceConfig {
+            seed: 4994,
+            scale: 0.01,
+            tenants: 2,
+            ..ServiceConfig::default()
+        }));
+        let out = Pipeline::new()
+            .scale(0.01)
+            .shards(2)
+            .sink(ArchiveSink::Serve(
+                ServeSink::new(Arc::clone(&service), 1).batch_rows(333),
+            ))
+            .run()
+            .expect("runs");
+        assert_eq!(out.archive, mem.archive);
+        // The catalog stays live in the service for other readers, and
+        // sibling tenants are untouched.
+        let snap = service.snapshot(1).expect("snapshots");
+        assert_eq!(snap.rows(), out.events.len() as u64);
+        assert_eq!(service.snapshot(0).expect("snapshots").rows(), 0);
+    }
+
+    #[test]
+    fn serve_sink_surfaces_unknown_tenants() {
+        use charisma_serve::{Service, ServiceConfig};
+
+        let service = Arc::new(Service::new(ServiceConfig {
+            tenants: 1,
+            ..ServiceConfig::default()
+        }));
+        let err = Pipeline::new()
+            .scale(0.01)
+            .sink(ArchiveSink::Serve(ServeSink::new(service, 3)))
+            .run();
+        assert!(matches!(err, Err(Error::Serve(_))));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_archive_builders_delegate_to_sink() {
+        let via_sink = Pipeline::new()
+            .scale(0.01)
+            .sink(ArchiveSink::Memory)
+            .run()
+            .expect("runs");
+        let via_deprecated = Pipeline::new()
+            .scale(0.01)
+            .archive_in_memory()
+            .run()
+            .expect("runs");
+        assert_eq!(via_sink.archive, via_deprecated.archive);
+
+        let path = std::env::temp_dir().join(format!(
+            "charisma-pipeline-compat-{}.chstor",
+            std::process::id()
+        ));
+        let out = Pipeline::new()
+            .scale(0.01)
+            .archive(&path)
+            .run()
+            .expect("runs");
+        let on_disk = std::fs::read(&path).expect("archive file written");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(Some(on_disk), out.archive);
     }
 
     #[test]
