@@ -18,10 +18,27 @@
 //! timestamps, no randomness, no map iteration — which is what lets the
 //! archive promise canonical bytes. Every decoder is total: corrupt input
 //! yields [`StoreError`], never a panic.
+//!
+//! # Batched decode
+//!
+//! The decoders come in two shapes: the original `decode_*_column`
+//! functions allocate and return a vector, and the `decode_*_column_into`
+//! variants append into a caller-owned buffer. Both run the same batched
+//! core: varints are probed a u64 window (eight bytes) at a time — when no
+//! byte in the window carries a continuation bit, all eight are complete
+//! one-byte varints and are emitted without per-value branching, which is
+//! the common case for identifier columns and for the tiny zigzag deltas
+//! of sorted time/offset columns. Delta columns decode their zigzag
+//! varints first, then rebuild absolute values with a chunked wrapping
+//! prefix sum over the decoded buffer. The predicate-first segment scan
+//! (`scan` module) and the full decode share these exact loops.
 
 use bytes::{Buf, BufMut};
 
 use crate::StoreError;
+
+/// Continuation-bit mask over an eight-byte varint probe window.
+const VARINT_PROBE_MASK: u64 = 0x8080_8080_8080_8080;
 
 /// Map a signed delta onto an unsigned varint-friendly value: small
 /// magnitudes of either sign get small codes (0 → 0, -1 → 1, 1 → 2, ...).
@@ -46,13 +63,51 @@ pub fn encode_varint_column(values: &[u64], out: &mut Vec<u8>) {
 /// Decode `n` varints written by [`encode_varint_column`].
 pub fn decode_varint_column(buf: &mut &[u8], n: usize) -> Result<Vec<u64>, StoreError> {
     let mut values = Vec::with_capacity(n);
-    for _ in 0..n {
-        values.push(
+    decode_varint_column_into(buf, n, &mut values)?;
+    Ok(values)
+}
+
+/// Append `n` varints from `buf` onto `out` — the batched core shared by
+/// every varint-shaped decode.
+///
+/// The hot loop probes eight input bytes as one u64: if no byte in the
+/// window has its continuation bit set, the window is eight complete
+/// one-byte varints, emitted in one branch-light burst. Windows holding a
+/// multi-byte varint fall back to the per-byte decoder for one value and
+/// re-probe. Identifier columns and sorted-column deltas are dominated by
+/// one-byte codes, so most of a segment decodes eight values per probe.
+pub fn decode_varint_column_into(
+    buf: &mut &[u8],
+    n: usize,
+    out: &mut Vec<u64>,
+) -> Result<(), StoreError> {
+    out.reserve(n);
+    let mut remaining = n;
+    while remaining >= 8 && buf.len() >= 8 {
+        let window = [
+            buf[0], buf[1], buf[2], buf[3], buf[4], buf[5], buf[6], buf[7],
+        ];
+        if u64::from_le_bytes(window) & VARINT_PROBE_MASK == 0 {
+            for b in window {
+                out.push(u64::from(b));
+            }
+            *buf = &buf[8..];
+            remaining -= 8;
+        } else {
+            out.push(
+                buf.try_get_varint_u64()
+                    .ok_or(StoreError::Corrupt("truncated varint column"))?,
+            );
+            remaining -= 1;
+        }
+    }
+    for _ in 0..remaining {
+        out.push(
             buf.try_get_varint_u64()
                 .ok_or(StoreError::Corrupt("truncated varint column"))?,
         );
     }
-    Ok(values)
+    Ok(())
 }
 
 /// Append `values` as zigzag varints of the wrapping delta from the
@@ -68,15 +123,38 @@ pub fn encode_delta_column(values: &[u64], out: &mut Vec<u8>) {
 /// Decode `n` values written by [`encode_delta_column`].
 pub fn decode_delta_column(buf: &mut &[u8], n: usize) -> Result<Vec<u64>, StoreError> {
     let mut values = Vec::with_capacity(n);
-    let mut prev = 0u64;
-    for _ in 0..n {
-        let z = buf
-            .try_get_varint_u64()
-            .ok_or(StoreError::Corrupt("truncated delta column"))?;
-        prev = prev.wrapping_add(unzigzag(z) as u64);
-        values.push(prev);
-    }
+    decode_delta_column_into(buf, n, &mut values)?;
     Ok(values)
+}
+
+/// Append `n` values written by [`encode_delta_column`] onto `out`.
+///
+/// Two batched passes over the same buffer region: the raw zigzag varints
+/// decode through [`decode_varint_column_into`]'s u64-probe loop, then a
+/// chunked wrapping prefix sum rewrites them in place into absolute
+/// values — eight values per chunk with the running value kept in a
+/// register, so the transform never re-reads what it just wrote.
+pub fn decode_delta_column_into(
+    buf: &mut &[u8],
+    n: usize,
+    out: &mut Vec<u64>,
+) -> Result<(), StoreError> {
+    let start = out.len();
+    decode_varint_column_into(buf, n, out)
+        .map_err(|_| StoreError::Corrupt("truncated delta column"))?;
+    let mut prev = 0u64;
+    let mut chunks = out[start..].chunks_exact_mut(8);
+    for chunk in &mut chunks {
+        for z in chunk {
+            prev = prev.wrapping_add(unzigzag(*z) as u64);
+            *z = prev;
+        }
+    }
+    for z in chunks.into_remainder() {
+        prev = prev.wrapping_add(unzigzag(*z) as u64);
+        *z = prev;
+    }
+    Ok(())
 }
 
 /// Append `values` dictionary-encoded: distinct bytes in first-appearance

@@ -46,13 +46,15 @@ mod archive;
 mod codec;
 mod metrics;
 mod query;
+mod scan;
 mod sealed;
 mod segment;
 
 pub use archive::{write_archive, Archive, ArchiveMeta, ArchiveWriter};
 pub use codec::{
-    decode_delta_column, decode_dict_column, decode_varint_column, encode_delta_column,
-    encode_dict_column, encode_varint_column, unzigzag, zigzag,
+    decode_delta_column, decode_delta_column_into, decode_dict_column, decode_varint_column,
+    decode_varint_column_into, encode_delta_column, encode_dict_column, encode_varint_column,
+    unzigzag, zigzag,
 };
 pub use metrics::StoreMetrics;
 pub use query::{OpClass, OpSet, Query, Scan};

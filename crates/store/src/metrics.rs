@@ -28,6 +28,13 @@ pub struct StoreMetrics {
     pub rows_scanned: Counter,
     /// Rows that satisfied the query predicate.
     pub rows_matched: Counter,
+    /// Column values (cells) decoded during scans. A full-decode scan
+    /// charges ten per row; `cols_decoded / rows_scanned` is the average
+    /// column width the scan actually paid for.
+    pub cols_decoded: Counter,
+    /// Rows inside scanned segments that late materialization never built
+    /// an event for — the win on top of `segments_pruned`.
+    pub rows_skipped_late: Counter,
 }
 
 impl StoreMetrics {
@@ -41,6 +48,8 @@ impl StoreMetrics {
             segments_scanned: registry.counter("store.segments_scanned"),
             rows_scanned: registry.counter("store.rows_scanned"),
             rows_matched: registry.counter("store.rows_matched"),
+            cols_decoded: registry.counter("store.cols_decoded"),
+            rows_skipped_late: registry.counter("store.rows_skipped_late"),
         }
     }
 }

@@ -101,7 +101,7 @@ impl OpSet {
         self.0 & op.bit() != 0
     }
 
-    fn intersects_bits(self, bits: u8) -> bool {
+    pub(crate) fn intersects_bits(self, bits: u8) -> bool {
         self.0 & bits != 0
     }
 }
@@ -232,6 +232,34 @@ impl Query {
         true
     }
 
+    /// The time-window predicate, if set (inclusive µs bounds). These
+    /// accessors are the scan module's view of the conjunction: one per
+    /// predicate, `None` meaning "unrestricted", so the predicate phase
+    /// can decode exactly the columns the query references.
+    pub(crate) fn time_pred(&self) -> Option<(u64, u64)> {
+        self.time
+    }
+
+    /// The job-set predicate, if set.
+    pub(crate) fn jobs_pred(&self) -> Option<&[u32]> {
+        self.jobs.as_deref()
+    }
+
+    /// The file-set predicate, if set.
+    pub(crate) fn files_pred(&self) -> Option<&[u32]> {
+        self.files.as_deref()
+    }
+
+    /// The node-set predicate, if set.
+    pub(crate) fn nodes_pred(&self) -> Option<&[u16]> {
+        self.nodes.as_deref()
+    }
+
+    /// The op-class predicate, if set.
+    pub(crate) fn ops_pred(&self) -> Option<OpSet> {
+        self.ops
+    }
+
     /// Segment-level predicate: could any row under `zone` match? Always
     /// conservative — `true` when unsure, so pruning on it never drops a
     /// matching row. Public so federating layers can account for pruning
@@ -307,8 +335,11 @@ impl<'a> Scan<'a> {
     /// Per-segment matches, indexed by segment (pruned segments empty).
     ///
     /// The parallel core: workers claim segments from an atomic cursor,
-    /// prune on the zone map, decode and filter the survivors. Output
-    /// order is segment order regardless of claim order.
+    /// prune on the zone map, and run the predicate-first scan
+    /// ([`SealedSegment::select_events`](crate::SealedSegment)) over the
+    /// survivors — predicate columns decode and select first, the rest
+    /// materialize late for selected rows only. Output order is segment
+    /// order regardless of claim order.
     fn scan_segments(&self) -> Result<Vec<Vec<OrderedEvent>>, StoreError> {
         let segments = self.reader.segments();
         let admitted: Vec<usize> = (0..segments.len())
@@ -332,20 +363,20 @@ impl<'a> Scan<'a> {
                     let mut local: Vec<(usize, Vec<OrderedEvent>)> = Vec::new();
                     let mut rows_scanned = 0u64;
                     let mut rows_matched = 0u64;
+                    let mut cols_decoded = 0u64;
+                    let mut rows_skipped = 0u64;
                     loop {
                         let claim = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(&seg) = admitted.get(claim) else {
                             break;
                         };
-                        match segments[seg].events() {
-                            Ok(events) => {
-                                rows_scanned += events.len() as u64;
-                                let matched: Vec<OrderedEvent> = events
-                                    .into_iter()
-                                    .filter(|e| self.query.matches(e))
-                                    .collect();
-                                rows_matched += matched.len() as u64;
-                                local.push((seg, matched));
+                        match segments[seg].select_events(&self.query) {
+                            Ok(scan) => {
+                                rows_scanned += u64::from(segments[seg].rows());
+                                rows_matched += scan.events.len() as u64;
+                                cols_decoded += scan.values_decoded;
+                                rows_skipped += scan.rows_skipped;
+                                local.push((seg, scan.events));
                             }
                             Err(e) => {
                                 let mut slot = lock(&first_error);
@@ -360,6 +391,8 @@ impl<'a> Scan<'a> {
                     if let Some(m) = &self.metrics {
                         m.rows_scanned.add(rows_scanned);
                         m.rows_matched.add(rows_matched);
+                        m.cols_decoded.add(cols_decoded);
+                        m.rows_skipped_late.add(rows_skipped);
                     }
                     lock(&results).append(&mut local);
                 });
@@ -547,6 +580,11 @@ mod tests {
         assert_eq!(snap.counters["store.segments_scanned"], 1);
         assert_eq!(snap.counters["store.rows_scanned"], 4096);
         assert_eq!(snap.counters["store.rows_matched"], 301);
+        // Predicate phase: the time column in full (4096 cells). Late
+        // phase: nine columns up to the last selected row (local index
+        // 404, so 405 cells each).
+        assert_eq!(snap.counters["store.cols_decoded"], 4096 + 9 * 405);
+        assert_eq!(snap.counters["store.rows_skipped_late"], 4096 - 301);
     }
 
     #[test]

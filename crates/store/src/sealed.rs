@@ -34,7 +34,8 @@ use charisma_trace::OrderedEvent;
 
 use crate::archive::ArchiveMeta;
 use crate::query::{Query, Scan};
-use crate::segment::{decode_segment, ZoneMap};
+use crate::scan::{decode_segment, scan_segment, SegmentScan};
+use crate::segment::ZoneMap;
 use crate::StoreError;
 
 /// One immutable, encoded segment: shared bytes plus the zone map that
@@ -91,6 +92,13 @@ impl SealedSegment {
     /// Decode every record of the segment, in row order.
     pub fn events(&self) -> Result<Vec<OrderedEvent>, StoreError> {
         decode_segment(&self.bytes, self.zone.rows)
+    }
+
+    /// Scan the segment under `query`: predicate-column-first decode into
+    /// a row selection, then late materialization of the surviving rows —
+    /// the per-segment core every [`Scan`] runs.
+    pub(crate) fn select_events(&self, query: &Query) -> Result<SegmentScan, StoreError> {
+        scan_segment(&self.bytes, self.zone.rows, query)
     }
 }
 

@@ -27,10 +27,7 @@ use charisma_ipsc::SimTime;
 use charisma_trace::record::{AccessKind, EventBody};
 use charisma_trace::OrderedEvent;
 
-use crate::codec::{
-    decode_delta_column, decode_dict_column, decode_varint_column, encode_delta_column,
-    encode_dict_column, encode_varint_column,
-};
+use crate::codec::{encode_delta_column, encode_dict_column, encode_varint_column};
 use crate::StoreError;
 
 /// Rows per segment. Small enough that a pruned segment saves real work at
@@ -42,6 +39,9 @@ pub const SEGMENT_ROWS: usize = 4096;
 const FLAG_ACCESS_MASK: u8 = 0b11;
 const FLAG_CREATED: u8 = 1 << 2;
 const FLAG_TRACED: u8 = 1 << 3;
+
+/// Columns per segment row (the fixed schema above).
+pub(crate) const COLUMN_COUNT: usize = 10;
 
 /// Min/max tracker over the values a column actually carried (absent
 /// values do not pollute the bounds).
@@ -157,17 +157,17 @@ impl ZoneMap {
 
 /// One record transposed onto the fixed column schema.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-struct Row {
-    time: u64,
-    node: u16,
-    op: u8,
-    job: u32,
-    file: u32,
-    session: u32,
-    mode: u8,
-    flags: u8,
-    offset: u64,
-    size: u64,
+pub(crate) struct Row {
+    pub(crate) time: u64,
+    pub(crate) node: u16,
+    pub(crate) op: u8,
+    pub(crate) job: u32,
+    pub(crate) file: u32,
+    pub(crate) session: u32,
+    pub(crate) mode: u8,
+    pub(crate) flags: u8,
+    pub(crate) offset: u64,
+    pub(crate) size: u64,
 }
 
 /// Which identity columns a tag carries (for zone-map bounds).
@@ -231,7 +231,7 @@ fn row_from_event(e: &OrderedEvent) -> Row {
     row
 }
 
-fn event_from_row(row: &Row) -> Result<OrderedEvent, StoreError> {
+pub(crate) fn event_from_row(row: &Row) -> Result<OrderedEvent, StoreError> {
     let body = match row.op {
         1 => EventBody::JobStart {
             job: row.job,
@@ -406,95 +406,10 @@ fn encode_column(out: &mut Vec<u8>, encode: impl FnOnce(&mut Vec<u8>)) {
     out.put_slice(&col);
 }
 
-/// Borrow one length-prefixed column out of `buf`.
-fn take_column<'a>(buf: &mut &'a [u8]) -> Result<&'a [u8], StoreError> {
-    let len = buf
-        .try_get_varint_u64()
-        .ok_or(StoreError::Corrupt("truncated column length"))?;
-    let len = usize::try_from(len).map_err(|_| StoreError::Corrupt("column length overflow"))?;
-    if buf.remaining() < len {
-        return Err(StoreError::Corrupt("column extends past segment"));
-    }
-    let (col, rest) = buf.split_at(len);
-    *buf = rest;
-    Ok(col)
-}
-
-fn decode_u64s(
-    buf: &mut &[u8],
-    n: usize,
-    decode: impl Fn(&mut &[u8], usize) -> Result<Vec<u64>, StoreError>,
-) -> Result<Vec<u64>, StoreError> {
-    let mut col = take_column(buf)?;
-    let values = decode(&mut col, n)?;
-    if !col.is_empty() {
-        return Err(StoreError::Corrupt("trailing bytes in column"));
-    }
-    Ok(values)
-}
-
-fn decode_u8s(buf: &mut &[u8], n: usize) -> Result<Vec<u8>, StoreError> {
-    let mut col = take_column(buf)?;
-    let values = decode_dict_column(&mut col, n)?;
-    if !col.is_empty() {
-        return Err(StoreError::Corrupt("trailing bytes in column"));
-    }
-    Ok(values)
-}
-
-fn narrow<T: TryFrom<u64>>(v: u64, what: &'static str) -> Result<T, StoreError> {
-    T::try_from(v).map_err(|_| StoreError::Corrupt(what))
-}
-
-/// Decode one segment blob back into its records, in row order.
-pub(crate) fn decode_segment(
-    mut buf: &[u8],
-    expected_rows: u32,
-) -> Result<Vec<OrderedEvent>, StoreError> {
-    let n = buf
-        .try_get_varint_u64()
-        .ok_or(StoreError::Corrupt("truncated row count"))?;
-    if n != u64::from(expected_rows) {
-        return Err(StoreError::Corrupt(
-            "segment row count disagrees with index",
-        ));
-    }
-    let n = expected_rows as usize;
-    let times = decode_u64s(&mut buf, n, decode_delta_column)?;
-    let nodes = decode_u64s(&mut buf, n, decode_varint_column)?;
-    let ops = decode_u8s(&mut buf, n)?;
-    let jobs = decode_u64s(&mut buf, n, decode_varint_column)?;
-    let files = decode_u64s(&mut buf, n, decode_varint_column)?;
-    let sessions = decode_u64s(&mut buf, n, decode_varint_column)?;
-    let modes = decode_u8s(&mut buf, n)?;
-    let flags = decode_u8s(&mut buf, n)?;
-    let offsets = decode_u64s(&mut buf, n, decode_delta_column)?;
-    let sizes = decode_u64s(&mut buf, n, decode_delta_column)?;
-    if !buf.is_empty() {
-        return Err(StoreError::Corrupt("trailing bytes in segment"));
-    }
-    let mut events = Vec::with_capacity(n);
-    for i in 0..n {
-        let row = Row {
-            time: times[i],
-            node: narrow(nodes[i], "node id exceeds u16")?,
-            op: ops[i],
-            job: narrow(jobs[i], "job id exceeds u32")?,
-            file: narrow(files[i], "file id exceeds u32")?,
-            session: narrow(sessions[i], "session id exceeds u32")?,
-            mode: modes[i],
-            flags: flags[i],
-            offset: offsets[i],
-            size: sizes[i],
-        };
-        events.push(event_from_row(&row)?);
-    }
-    Ok(events)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scan::decode_segment;
 
     fn sample_events() -> Vec<OrderedEvent> {
         let mk = |us, node, body| OrderedEvent {

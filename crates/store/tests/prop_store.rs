@@ -11,9 +11,10 @@
 
 use charisma_ipsc::SimTime;
 use charisma_store::{
-    decode_delta_column, decode_dict_column, decode_varint_column, encode_delta_column,
-    encode_dict_column, encode_varint_column, unzigzag, write_archive, zigzag, Archive,
-    ArchiveMeta, OpClass, OpSet, Query,
+    decode_delta_column, decode_delta_column_into, decode_dict_column, decode_varint_column,
+    decode_varint_column_into, encode_delta_column, encode_dict_column, encode_varint_column,
+    unzigzag, write_archive, zigzag, Archive, ArchiveMeta, ArchiveReader, OpClass, OpSet, Query,
+    SealedSegment, SegmentBuilder,
 };
 use charisma_trace::record::{AccessKind, EventBody};
 use charisma_trace::OrderedEvent;
@@ -67,6 +68,20 @@ fn arb_stream() -> impl Strategy<Value = Vec<OrderedEvent>> {
         // Archives are written from the merged stream, which is ordered.
         events.sort_by_key(|e| (e.time, e.node));
         events
+    })
+}
+
+/// A stream repeating one body: every segment's op (and often mode/flags)
+/// dictionary is constant, exercising the index-elision decode path.
+fn arb_uniform_stream() -> impl Strategy<Value = Vec<OrderedEvent>> {
+    (arb_body(), 0usize..400).prop_map(|(body, n)| {
+        (0..n)
+            .map(|i| OrderedEvent {
+                time: SimTime::from_micros(i as u64 * 5),
+                node: (i % 4) as u16,
+                body,
+            })
+            .collect()
     })
 }
 
@@ -192,5 +207,68 @@ proptest! {
         let want: Vec<OrderedEvent> =
             events.iter().filter(|e| q.matches(e)).copied().collect();
         prop_assert_eq!(got, want);
+    }
+
+    /// The `_into` decoders (the batched u64-probe / prefix-sum loops
+    /// behind the predicate-first scan) append exactly what the
+    /// allocating decoders return, even onto a non-empty buffer — over
+    /// both one-byte-dominated and multi-byte varint mixes.
+    #[test]
+    fn batched_decode_into_matches_the_allocating_decoders(
+        values in prop_oneof![
+            proptest::collection::vec(0u64..128, 0..300),
+            proptest::collection::vec(any::<u64>(), 0..300),
+        ],
+        prefix in proptest::collection::vec(any::<u64>(), 0..5),
+    ) {
+        let mut enc = Vec::new();
+        encode_varint_column(&values, &mut enc);
+        let mut out = prefix.clone();
+        let mut buf = enc.as_slice();
+        decode_varint_column_into(&mut buf, values.len(), &mut out).unwrap();
+        prop_assert!(buf.is_empty());
+        prop_assert_eq!(&out[prefix.len()..], values.as_slice());
+
+        let mut enc = Vec::new();
+        encode_delta_column(&values, &mut enc);
+        let mut out = prefix.clone();
+        let mut buf = enc.as_slice();
+        decode_delta_column_into(&mut buf, values.len(), &mut out).unwrap();
+        prop_assert!(buf.is_empty());
+        prop_assert_eq!(&out[prefix.len()..], values.as_slice());
+    }
+
+    /// The late-materialized scan is exactly a filter for arbitrary
+    /// queries, worker counts, and *segment boundaries* — down to
+    /// one-row segments — including uniform streams (constant-column
+    /// dictionary elision) and the guaranteed-empty selection.
+    #[test]
+    fn late_materialized_scan_is_a_filter_across_segment_boundaries(
+        events in prop_oneof![arb_stream(), arb_uniform_stream()],
+        seg_rows in 1usize..80,
+        q in arb_query(),
+        workers in 1usize..5,
+    ) {
+        let segments: Vec<SealedSegment> = events
+            .chunks(seg_rows)
+            .map(|chunk| {
+                let mut b = SegmentBuilder::default();
+                for e in chunk {
+                    b.push(e);
+                }
+                b.seal()
+            })
+            .collect();
+        let reader = ArchiveReader::new(META, segments);
+        let got = reader.query(q.clone()).workers(workers).events().unwrap();
+        let want: Vec<OrderedEvent> =
+            events.iter().filter(|e| q.matches(e)).copied().collect();
+        prop_assert_eq!(got, want);
+
+        // Empty-selection edge: an empty job set matches nothing, so the
+        // predicate phase must reject every row and the materialize
+        // phase must never run — on every segment geometry.
+        let empty = reader.query(q.jobs(&[])).workers(workers).events().unwrap();
+        prop_assert!(empty.is_empty());
     }
 }

@@ -61,7 +61,7 @@ pub mod serve;
 pub const INVARIANTS_ENABLED: bool = cfg!(feature = "invariants");
 
 pub use archive::{archive_fixture_line, check_archive_gate, ArchiveGateReport};
-pub use bench::{run_bench, BenchRecord};
+pub use bench::{compare as compare_bench, run_bench, BenchComparison, BenchRecord};
 pub use chaos::{
     chaos_metrics_json, chaos_plan, check_chaos_determinism, check_chaos_shard_equivalence,
     check_fault_activity, diff_plan,

@@ -9,7 +9,7 @@
 //! | `CH002` | `ipsc`, `cfs`, `cachesim`, `trace`, `obs`, `store` | comparing simulated time as raw `f64` (`as_secs_f64()` next to a comparison) outside `crates/ipsc/src/time.rs` — compare `SimTime`/`Duration` in integer microseconds |
 //! | `CH003` | `ipsc`, `cfs`, `trace`, `obs`, `store` | `.unwrap()` / `.expect(..)` / `panic!` in non-test library code — propagate typed errors; grandfathered sites live in a budgeted allowlist that may only shrink |
 //! | `CH004` | `ipsc`, `cfs`, `cachesim`, `trace`, `workload`, `store` | wall clocks (`Instant`, `SystemTime`) and ambient entropy (`thread_rng`, `from_entropy`) — all randomness must flow from a seeded RNG |
-//! | `CH005` | `store`                            | truncating `as` casts to narrow integers in encode/decode paths — a silent wraparound changes canonical archive bytes; use `try_from` and surface the error. Grandfathered sites live in `allowlist_ch005.txt`, budgeted and shrink-only like CH003 |
+//! | `CH005` | `store`, `serve`                   | truncating `as` casts to narrow integers in encode/decode paths — including the batched-decode loops (`codec.rs` `_into` decoders, `scan.rs` late materialization), where a silent wraparound changes canonical archive bytes or decoded values; use `try_from` and surface the error. Grandfathered sites live in `allowlist_ch005.txt`, budgeted and shrink-only like CH003 |
 //! | `CH006` | `ipsc`, `cfs`, `cachesim`, `trace`, `obs`, `store`, `workload` | `unsafe`, `static mut`, `transmute` — the simulators make no claims the borrow checker can't see |
 //! | `CH007` | `ipsc`, `cfs`, `cachesim`, `trace`, `workload`, `store` | nondeterministic concurrency primitives (`std::thread::spawn`, `Mutex`, `RwLock`, `mpsc`) outside the sanctioned `std::thread::scope` claiming pattern; `obs` is exempt (its registry is interior-mutable by design and merge order is pinned elsewhere) |
 //! | `CH008` | `ipsc`, `cfs`, `cachesim`, `trace`, `obs`, `store` | `todo!`/`unimplemented!`/`unreachable!` in library code, and `f64` equality comparisons (except against an exact-zero literal, the one bit-exact guard) |
@@ -57,7 +57,8 @@ pub enum Rule {
     Ch003,
     /// Wall clocks or ambient entropy in simulation crates.
     Ch004,
-    /// Truncating `as` casts to narrow integers in the store's codec paths.
+    /// Truncating `as` casts to narrow integers in the store's codec paths,
+    /// batched-decode loops included.
     Ch005,
     /// `unsafe`, `static mut`, or `transmute` in simulation crates.
     Ch006,

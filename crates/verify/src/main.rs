@@ -11,7 +11,7 @@
 //!                         [--fixture PATH] [--write]
 //! charisma-verify serve [--seed N] [--scale F] [--tenants N]
 //! charisma-verify bench [--seed N] [--scale F] [--workers N]
-//!                       [--pr N] [--out PATH]
+//!                       [--pr N] [--out PATH] [--compare PREV.json]
 //! ```
 //!
 //! With `--shards N`, the determinism check runs the sharded pipeline on
@@ -53,8 +53,8 @@ use charisma_verify::{
     archive_fixture_line, chaos_metrics_json, chaos_plan, check_archive_gate,
     check_chaos_determinism, check_chaos_shard_equivalence, check_fault_activity,
     check_metrics_shard_equivalence, check_pipeline_determinism, check_serve_gate,
-    check_shard_equivalence, check_sharded_determinism, core_metrics_json, diff_json, diff_plan,
-    findings_to_json, lint_workspace, run_bench, LintConfig,
+    check_shard_equivalence, check_sharded_determinism, compare_bench, core_metrics_json,
+    diff_json, diff_plan, findings_to_json, lint_workspace, run_bench, LintConfig,
 };
 
 fn usage() -> ExitCode {
@@ -87,9 +87,12 @@ fn usage() -> ExitCode {
                         snapshots replay exactly their pinned prefix, and\n\
                         federated scans match the concat-and-sort oracle\n\
            bench        [--seed N] [--scale F] [--workers N] [--pr N] [--out PATH]\n\
-                        run the pinned pipeline once, time generation and a\n\
-                        full-archive scan, and print (or write) a BENCH_N.json\n\
-                        perf record"
+                        [--compare PREV.json]\n\
+                        run the pinned pipeline once, time generation plus\n\
+                        full-archive and pruned scans, and print (or write) a\n\
+                        BENCH_N.json perf record; with --compare, diff it\n\
+                        against a committed predecessor — deterministic\n\
+                        regressions >25% fail, wall-clock deltas warn"
     );
     ExitCode::from(2)
 }
@@ -199,6 +202,36 @@ fn run_bench_cmd(args: &[String]) -> ExitCode {
             eprintln!("bench record written: {path}");
         }
         None => print!("{json}"),
+    }
+
+    // The perf-trajectory gate: diff this record against a committed
+    // predecessor. Deterministic regressions fail; wall-clock ones warn.
+    if let Some(prev_path) = flag_value(args, "--compare") {
+        let prev = match std::fs::read_to_string(prev_path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("charisma-verify bench: cannot read {prev_path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let cmp = compare_bench(&record, &prev);
+        for s in &cmp.skipped {
+            println!("bench compare: skipped {s}");
+        }
+        for w in &cmp.warnings {
+            println!("bench compare WARNING: {w}");
+        }
+        if !cmp.failures.is_empty() {
+            for f in &cmp.failures {
+                println!("bench compare REGRESSION: {f}");
+            }
+            println!(
+                "bench COMPARE FAILED against {prev_path}: {} deterministic regression(s)",
+                cmp.failures.len()
+            );
+            return ExitCode::FAILURE;
+        }
+        println!("bench compare passed against {prev_path}");
     }
     ExitCode::SUCCESS
 }

@@ -243,6 +243,23 @@ impl Pipeline {
     }
 
     /// Write the archive file at `path`.
+    ///
+    /// Replaced by the general sink form, which writes the same bytes:
+    ///
+    /// ```
+    /// use charisma::{ArchiveSink, Pipeline};
+    ///
+    /// let dir = std::env::temp_dir().join("charisma-doc-archive");
+    /// std::fs::create_dir_all(&dir)?;
+    /// let path = dir.join("trace.charisma");
+    /// let out = Pipeline::new()
+    ///     .scale(0.001)
+    ///     .sink(ArchiveSink::Path(path.clone()))
+    ///     .run()?;
+    /// assert_eq!(std::fs::read(&path)?, out.archive.unwrap());
+    /// # std::fs::remove_file(&path)?;
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
     #[deprecated(since = "0.1.0", note = "use `sink(ArchiveSink::Path(path.into()))`")]
     #[must_use]
     pub fn archive(self, path: impl Into<PathBuf>) -> Self {
@@ -250,6 +267,19 @@ impl Pipeline {
     }
 
     /// Keep the archive bytes only in [`PipelineOutput::archive`].
+    ///
+    /// Replaced by the general sink form, which produces the same bytes:
+    ///
+    /// ```
+    /// use charisma::{ArchiveSink, Pipeline};
+    ///
+    /// let out = Pipeline::new()
+    ///     .scale(0.001)
+    ///     .sink(ArchiveSink::Memory)
+    ///     .run()?;
+    /// assert!(out.archive.is_some());
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
     #[deprecated(since = "0.1.0", note = "use `sink(ArchiveSink::Memory)`")]
     #[must_use]
     pub fn archive_in_memory(self) -> Self {
